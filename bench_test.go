@@ -1,0 +1,235 @@
+package invisifence
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmarks regenerate every evaluation figure at reduced scale (so
+// `go test -bench=.` completes in minutes) and report the figure's headline
+// metric via b.ReportMetric. cmd/figures regenerates the full-scale tables.
+
+// benchOpts is the reduced-scale campaign configuration for benchmarks.
+func benchOpts() ExpOptions {
+	return ExpOptions{Seeds: []int64{1}, Scale: 0.25, Parallel: 4}
+}
+
+func benchRun(b *testing.B, cfg Config) Result {
+	b.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func benchConfig(wl string, v Variant, scale float64) Config {
+	cfg := DefaultConfig()
+	cfg.Workload = wl
+	cfg.Variant = v
+	cfg.Scale = scale
+	return cfg
+}
+
+// BenchmarkFigure1 reports conventional ordering-stall fractions: SB-stall
+// cycles as a share of SC execution per model (Figure 1's bars).
+func BenchmarkFigure1(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var scTotal float64
+				for _, v := range []Variant{ConventionalVariant(SC), ConventionalVariant(TSO), ConventionalVariant(RMO)} {
+					res := benchRun(b, benchConfig(wl, v, 0.25))
+					if v.Model == SC {
+						scTotal = float64(res.Breakdown.Total())
+					}
+					stall := float64(res.Breakdown[2] + res.Breakdown[3])
+					b.ReportMetric(100*stall/scTotal, "sbstall_pct_"+v.Name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8 reports speedups over conventional SC for the six-bar
+// group of Figure 8.
+func BenchmarkFigure8(b *testing.B) {
+	variants := []Variant{
+		ConventionalVariant(TSO), ConventionalVariant(RMO),
+		SelectiveVariant(SC), SelectiveVariant(TSO), SelectiveVariant(RMO),
+	}
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base := benchRun(b, benchConfig(wl, ConventionalVariant(SC), 0.25))
+				for _, v := range variants {
+					res := benchRun(b, benchConfig(wl, v, 0.25))
+					b.ReportMetric(float64(base.Cycles)/float64(res.Cycles), "speedup_"+v.Name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9 reports the runtime breakdown (percent of SC cycles) for
+// INVISIFENCE-SELECTIVE-SC: the bar the paper uses to show where the
+// eliminated stalls went.
+func BenchmarkFigure9(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base := benchRun(b, benchConfig(wl, ConventionalVariant(SC), 0.25))
+				res := benchRun(b, benchConfig(wl, SelectiveVariant(SC), 0.25))
+				scTotal := float64(base.Breakdown.Total())
+				names := []string{"busy", "other", "sbfull", "sbdrain", "violation"}
+				for c, name := range names {
+					b.ReportMetric(100*float64(res.Breakdown[c])/scTotal, name+"_pct")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure10 reports percent of cycles spent speculating per
+// selective variant (Figure 10).
+func BenchmarkFigure10(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, v := range []Variant{SelectiveVariant(SC), SelectiveVariant(TSO), SelectiveVariant(RMO)} {
+					res := benchRun(b, benchConfig(wl, v, 0.25))
+					b.ReportMetric(100*res.SpecFraction, "spec_pct_"+v.Name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure11 reports runtime normalized to the ASO baseline for
+// one- and two-checkpoint INVISIFENCE-SELECTIVE-SC (Figure 11).
+func BenchmarkFigure11(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				aso := benchRun(b, benchConfig(wl, ASOVariant(), 0.25))
+				one := benchRun(b, benchConfig(wl, SelectiveVariant(SC), 0.25))
+				two := benchRun(b, benchConfig(wl, Selective2CkptVariant(SC), 0.25))
+				b.ReportMetric(float64(one.Cycles)/float64(aso.Cycles), "norm_1ckpt")
+				b.ReportMetric(float64(two.Cycles)/float64(aso.Cycles), "norm_2ckpt")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure12 reports runtime normalized to SC for continuous
+// speculation with and without commit-on-violate, against RMO and
+// INVISIFENCE-RMO (Figure 12).
+func BenchmarkFigure12(b *testing.B) {
+	variants := []Variant{
+		ContinuousVariant(false), ConventionalVariant(RMO),
+		ContinuousVariant(true), SelectiveVariant(RMO),
+	}
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base := benchRun(b, benchConfig(wl, ConventionalVariant(SC), 0.25))
+				for _, v := range variants {
+					res := benchRun(b, benchConfig(wl, v, 0.25))
+					b.ReportMetric(float64(res.Cycles)/float64(base.Cycles), "norm_"+v.Name)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §6): design-choice sweeps beyond the paper's
+// figures, including the "sensitivity studies (not shown)" of §6.1.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationSBSize sweeps the coalescing store buffer capacity for
+// INVISIFENCE-SELECTIVE-SC (the paper found 8 entries sufficient).
+func BenchmarkAblationSBSize(b *testing.B) {
+	for _, size := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("sb%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := SelectiveVariant(SC)
+				v.SBCapacity = size
+				res := benchRun(b, benchConfig("apache", v, 0.25))
+				b.ReportMetric(float64(res.Cycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the continuous minimum chunk size
+// (~100 instructions in Figure 4).
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, chunk := range []int{25, 50, 100, 200, 400} {
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ContinuousVariant(true)
+				v.Engine.MinChunk = chunk
+				res := benchRun(b, benchConfig("ocean", v, 0.25))
+				b.ReportMetric(float64(res.Cycles), "cycles")
+				b.ReportMetric(float64(res.Aborts), "aborts")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCoVTimeout sweeps the commit-on-violate deferral window
+// (the paper evaluates 4000 cycles).
+func BenchmarkAblationCoVTimeout(b *testing.B) {
+	for _, timeout := range []uint64{250, 1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("cov%d", timeout), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ContinuousVariant(true)
+				v.Engine.CoVTimeout = timeout
+				res := benchRun(b, benchConfig("oltp-oracle", v, 0.25))
+				b.ReportMetric(float64(res.Cycles), "cycles")
+				b.ReportMetric(float64(res.CoVSaves), "cov_saves")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStorePrefetch toggles Flexus-style store prefetching in
+// the conventional TSO baseline.
+func BenchmarkAblationStorePrefetch(b *testing.B) {
+	for _, depth := range []int{0, 4, 8, 16} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig("ocean", ConventionalVariant(TSO), 0.25)
+				cfg.Machine.StorePrefetchDepth = depth
+				res := benchRun(b, cfg)
+				b.ReportMetric(float64(res.Cycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSelectiveCoV applies commit-on-violate to selective
+// speculation (§6.6: the paper found < 1% average benefit).
+func BenchmarkAblationSelectiveCoV(b *testing.B) {
+	for _, cov := range []uint64{0, 4000} {
+		b.Run(fmt.Sprintf("cov%d", cov), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := SelectiveVariant(SC)
+				v.Engine.CoVTimeout = cov
+				res := benchRun(b, benchConfig("oltp-db2", v, 0.25))
+				b.ReportMetric(float64(res.Cycles), "cycles")
+				b.ReportMetric(float64(res.Aborts), "aborts")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (host time per
+// simulated cycle) — useful when hacking on the simulator itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, benchConfig("barnes", ConventionalVariant(RMO), 0.25))
+		b.ReportMetric(float64(res.Cycles), "simcycles")
+	}
+}

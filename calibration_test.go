@@ -1,0 +1,47 @@
+package invisifence
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestFullMatrix runs every (workload, variant) cell at full scale — the
+// data source for EXPERIMENTS.md. It takes many minutes, so it only runs
+// when INVISIFENCE_FULL_MATRIX=1 is set:
+//
+//	INVISIFENCE_FULL_MATRIX=1 go test -run TestFullMatrix -v -timeout 60m
+func TestFullMatrix(t *testing.T) {
+	if os.Getenv("INVISIFENCE_FULL_MATRIX") == "" {
+		t.Skip("set INVISIFENCE_FULL_MATRIX=1 to run the full-scale matrix")
+	}
+	variants := []Variant{
+		ConventionalVariant(SC), ConventionalVariant(TSO), ConventionalVariant(RMO),
+		SelectiveVariant(SC), SelectiveVariant(TSO), SelectiveVariant(RMO),
+		Selective2CkptVariant(SC),
+		ContinuousVariant(false), ContinuousVariant(true), ASOVariant(),
+	}
+	for _, wl := range Workloads() {
+		var sc uint64
+		for _, v := range variants {
+			cfg := DefaultConfig()
+			cfg.Workload = wl
+			cfg.Variant = v
+			start := time.Now()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Errorf("%s/%s: %v", wl, v.Name, err)
+				continue
+			}
+			if v.Name == "sc" {
+				sc = res.Cycles
+			}
+			fmt.Printf("%-12s %-16s cycles=%8d speedup=%.3f spec=%.2f specs=%d commits=%d aborts=%d drain=%.2f full=%.2f viol=%.2f wall=%.0fs\n",
+				wl, v.Name, res.Cycles, float64(sc)/float64(res.Cycles), res.SpecFraction,
+				res.Speculations, res.Commits, res.Aborts,
+				res.Breakdown.Frac(3), res.Breakdown.Frac(2), res.Breakdown.Frac(4),
+				time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command figures regenerates the paper's evaluation tables and figures
+// (Figures 1, 2, 4, 6, 7, 8, 9, 10, 11, 12) as text tables.
+//
+// Usage:
+//
+//	figures                    # all figures, 1 seed, full scale
+//	figures -fig 8 -seeds 3    # Figure 8 with 95% CIs over 3 seeds
+//	figures -scale 0.5 -workloads apache,ocean
+//	figures -markdown > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"invisifence"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12 or all")
+	seeds := flag.Int("seeds", 1, "number of seeds (CIs need >= 2)")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	wls := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	par := flag.Int("parallel", 4, "concurrent simulations")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	flag.Parse()
+
+	opts := invisifence.ExpOptions{Scale: *scale, Parallel: *par}
+	for s := 1; s <= *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, int64(s))
+	}
+	if *wls != "" {
+		opts.Workloads = strings.Split(*wls, ",")
+	}
+	c := invisifence.NewCampaign(opts)
+
+	emit := func(t *invisifence.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	switch *fig {
+	case "1":
+		emit(invisifence.Figure1(c))
+	case "2":
+		emit(invisifence.Figure2(), nil)
+	case "4":
+		emit(invisifence.Figure4(c))
+	case "6":
+		emit(invisifence.Figure6(*c.Options().Machine), nil)
+	case "7":
+		emit(invisifence.Figure7(), nil)
+	case "8":
+		emit(invisifence.Figure8(c))
+	case "9":
+		emit(invisifence.Figure9(c))
+	case "10":
+		emit(invisifence.Figure10(c))
+	case "11":
+		emit(invisifence.Figure11(c))
+	case "12":
+		emit(invisifence.Figure12(c))
+	case "all":
+		tables, err := invisifence.AllFigures(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *markdown {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

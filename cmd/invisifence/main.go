@@ -1,0 +1,107 @@
+// Command invisifence runs a single simulation: one workload under one
+// consistency implementation, printing the runtime breakdown and speculation
+// statistics.
+//
+// Usage:
+//
+//	invisifence -workload apache -variant invisi-sc [-cores 16] [-seed 1] [-scale 1.0]
+//
+// Variants: sc, tso, rmo, invisi-sc, invisi-tso, invisi-rmo,
+// invisi-sc-2ckpt, continuous, continuous-cov, aso.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"invisifence"
+	"invisifence/internal/stats"
+)
+
+func variantByName(name string) (invisifence.Variant, error) {
+	switch strings.ToLower(name) {
+	case "sc":
+		return invisifence.ConventionalVariant(invisifence.SC), nil
+	case "tso":
+		return invisifence.ConventionalVariant(invisifence.TSO), nil
+	case "rmo":
+		return invisifence.ConventionalVariant(invisifence.RMO), nil
+	case "invisi-sc":
+		return invisifence.SelectiveVariant(invisifence.SC), nil
+	case "invisi-tso":
+		return invisifence.SelectiveVariant(invisifence.TSO), nil
+	case "invisi-rmo":
+		return invisifence.SelectiveVariant(invisifence.RMO), nil
+	case "invisi-sc-2ckpt":
+		return invisifence.Selective2CkptVariant(invisifence.SC), nil
+	case "continuous":
+		return invisifence.ContinuousVariant(false), nil
+	case "continuous-cov":
+		return invisifence.ContinuousVariant(true), nil
+	case "aso":
+		return invisifence.ASOVariant(), nil
+	}
+	return invisifence.Variant{}, fmt.Errorf("unknown variant %q", name)
+}
+
+func main() {
+	wl := flag.String("workload", "apache", "workload: "+strings.Join(invisifence.Workloads(), ", "))
+	variant := flag.String("variant", "sc", "consistency implementation")
+	cores := flag.Int("cores", 16, "core count (must form a WxH torus: 1, 2, 4, 8, 16)")
+	seed := flag.Int64("seed", 1, "workload/jitter seed")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	flag.Parse()
+
+	v, err := variantByName(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := invisifence.DefaultConfig()
+	cfg.Workload = *wl
+	cfg.Variant = v
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	switch *cores {
+	case 1:
+		cfg.Machine.Width, cfg.Machine.Height = 1, 1
+	case 2:
+		cfg.Machine.Width, cfg.Machine.Height = 2, 1
+	case 4:
+		cfg.Machine.Width, cfg.Machine.Height = 2, 2
+	case 8:
+		cfg.Machine.Width, cfg.Machine.Height = 4, 2
+	case 16:
+		cfg.Machine.Width, cfg.Machine.Height = 4, 4
+	default:
+		fmt.Fprintf(os.Stderr, "unsupported core count %d\n", *cores)
+		os.Exit(2)
+	}
+
+	res, err := invisifence.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload       %s (seed %d, scale %.2f)\n", *wl, *seed, *scale)
+	fmt.Printf("variant        %s\n", v.Name)
+	fmt.Printf("cycles         %d\n", res.Cycles)
+	fmt.Printf("retired        %d (IPC %.3f over %d cores)\n",
+		res.Retired, float64(res.Retired)/float64(res.Cycles)/float64(*cores), *cores)
+	fmt.Printf("validated      %v\n", res.Validated)
+	fmt.Println("breakdown:")
+	for c := stats.Busy; c < stats.NumClasses; c++ {
+		fmt.Printf("  %-10s %6.2f%%\n", c.String(), 100*res.Breakdown.Frac(c))
+	}
+	fmt.Printf("speculation    %.1f%% of cycles, %d episodes, %d commits, %d aborts\n",
+		100*res.SpecFraction, res.Speculations, res.Commits, res.Aborts)
+	if res.CoVDeferrals > 0 {
+		fmt.Printf("commit-on-violate: %d deferrals, %d ended in commit\n",
+			res.CoVDeferrals, res.CoVSaves)
+	}
+	if res.CleaningWBs > 0 {
+		fmt.Printf("cleaning writebacks: %d\n", res.CleaningWBs)
+	}
+}

@@ -1,0 +1,324 @@
+// Package cache implements the set-associative write-back caches of the
+// simulated node (L1D and L2 from Figure 6), including the paper's additions
+// to the primary data cache: per-line speculatively-read and
+// speculatively-written bits (one pair per in-flight checkpoint epoch) with
+// single-cycle flash-clear and conditional flash-invalidate operations —
+// the behavioural equivalent of the augmented SRAM cells in Figure 3.
+package cache
+
+import (
+	"fmt"
+
+	"invisifence/internal/memtypes"
+)
+
+// LineState is the MESI state of a cache line.
+type LineState uint8
+
+const (
+	// Invalid: no valid copy.
+	Invalid LineState = iota
+	// Shared: read-only copy; other caches may hold it too.
+	Shared
+	// Exclusive: writable clean copy; no other cache holds it.
+	Exclusive
+	// Modified: writable dirty copy; memory is stale.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("LineState(%d)", uint8(s))
+}
+
+// Writable reports whether a line in this state may be written locally.
+func (s LineState) Writable() bool { return s == Exclusive || s == Modified }
+
+// Valid reports whether the line holds a usable copy.
+func (s LineState) Valid() bool { return s != Invalid }
+
+// MaxEpochs is the number of speculative checkpoint epochs the bit arrays
+// support. InvisiFence uses one (optionally two, §3.1); the ASO baseline's
+// periodic checkpointing (§2.2) uses up to four.
+const MaxEpochs = 4
+
+// Line is one cache line. Speculative bits index by checkpoint epoch.
+type Line struct {
+	Addr        memtypes.Addr // block-aligned; meaningful only when valid
+	State       LineState
+	Data        memtypes.BlockData
+	SpecRead    [MaxEpochs]bool
+	SpecWritten [MaxEpochs]bool
+	lru         uint64
+}
+
+// SpecAny reports whether any speculative bit is set on the line.
+func (l *Line) SpecAny() bool {
+	for e := 0; e < MaxEpochs; e++ {
+		if l.SpecRead[e] || l.SpecWritten[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecWrittenAny reports whether any epoch's written bit is set.
+func (l *Line) SpecWrittenAny() bool {
+	for e := 0; e < MaxEpochs; e++ {
+		if l.SpecWritten[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecReadAny reports whether any epoch's read bit is set.
+func (l *Line) SpecReadAny() bool {
+	for e := 0; e < MaxEpochs; e++ {
+		if l.SpecRead[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// OldestSpecEpoch returns the lowest epoch index with a bit set on the line,
+// or -1 if none. The caller maps epoch indexes to checkpoint age.
+func (l *Line) OldestSpecEpoch() int {
+	for e := 0; e < MaxEpochs; e++ {
+		if l.SpecRead[e] || l.SpecWritten[e] {
+			return e
+		}
+	}
+	return -1
+}
+
+func (l *Line) clearSpec(epoch int) {
+	l.SpecRead[epoch] = false
+	l.SpecWritten[epoch] = false
+}
+
+// Config describes one cache's geometry and timing.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	HitLatency uint64
+	Name       string // for error messages and stats
+}
+
+// Cache is a set-associative write-back cache with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	setMask  uint64
+	lruClock uint64
+
+	// Stats.
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// New creates a cache. SizeBytes must be a multiple of Ways*BlockBytes and
+// the resulting set count must be a power of two.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+	lines := cfg.SizeBytes / memtypes.BlockBytes
+	if lines <= 0 || lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d bytes / %d ways is not a whole number of sets", cfg.Name, cfg.SizeBytes, cfg.Ways))
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d is not a power of two", cfg.Name, nsets))
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	c.sets = make([][]Line, nsets)
+	backing := make([]Line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c
+}
+
+// HitLatency returns the configured access latency in cycles.
+func (c *Cache) HitLatency() uint64 { return c.cfg.HitLatency }
+
+// Sets returns the number of sets (used by tests).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+func (c *Cache) setFor(a memtypes.Addr) []Line {
+	return c.sets[(uint64(a)>>memtypes.BlockShift)&c.setMask]
+}
+
+// Lookup returns the line holding a's block and records an LRU touch, or nil
+// on miss.
+func (c *Cache) Lookup(a memtypes.Addr) *Line {
+	ba := memtypes.BlockAddr(a)
+	set := c.setFor(a)
+	for i := range set {
+		l := &set[i]
+		if l.State.Valid() && l.Addr == ba {
+			c.lruClock++
+			l.lru = c.lruClock
+			c.Hits++
+			return l
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek returns the line holding a's block without touching LRU or stats, or
+// nil if not present. Used by external probes and spec-bit checks.
+func (c *Cache) Peek(a memtypes.Addr) *Line {
+	ba := memtypes.BlockAddr(a)
+	set := c.setFor(a)
+	for i := range set {
+		l := &set[i]
+		if l.State.Valid() && l.Addr == ba {
+			return l
+		}
+	}
+	return nil
+}
+
+// Victim selects the line to evict to make room for a's block. It prefers
+// invalid lines, then the LRU line among those without speculative bits,
+// then (only if allowSpec) the overall LRU line. It returns nil if no
+// eligible victim exists (all ways speculative and allowSpec is false).
+// The returned line is not modified; the caller evicts and installs.
+func (c *Cache) Victim(a memtypes.Addr, allowSpec bool) *Line {
+	return c.VictimFiltered(a, allowSpec, nil)
+}
+
+// VictimFiltered is Victim with an additional exclusion predicate: lines
+// whose block address is "locked" (outstanding miss, pending store-buffer
+// entries, cleaning writeback in progress) must not be evicted.
+func (c *Cache) VictimFiltered(a memtypes.Addr, allowSpec bool, locked func(memtypes.Addr) bool) *Line {
+	set := c.setFor(a)
+	var nonSpec, spec *Line
+	for i := range set {
+		l := &set[i]
+		if !l.State.Valid() {
+			return l
+		}
+		if locked != nil && locked(l.Addr) {
+			continue
+		}
+		if l.SpecAny() {
+			if spec == nil || l.lru < spec.lru {
+				spec = l
+			}
+		} else {
+			if nonSpec == nil || l.lru < nonSpec.lru {
+				nonSpec = l
+			}
+		}
+	}
+	if nonSpec != nil {
+		return nonSpec
+	}
+	if allowSpec {
+		return spec
+	}
+	return nil
+}
+
+// Install fills a's block into the given line (previously returned by
+// Victim and already evicted by the caller). It resets speculative bits.
+func (c *Cache) Install(l *Line, a memtypes.Addr, data memtypes.BlockData, st LineState) {
+	if l.State.Valid() {
+		panic(fmt.Sprintf("cache %s: install over valid line %#x", c.cfg.Name, uint64(l.Addr)))
+	}
+	c.lruClock++
+	*l = Line{Addr: memtypes.BlockAddr(a), State: st, Data: data, lru: c.lruClock}
+}
+
+// Invalidate drops a's block if present, returning the prior line contents
+// so the caller can write back dirty data.
+func (c *Cache) Invalidate(a memtypes.Addr) (Line, bool) {
+	l := c.Peek(a)
+	if l == nil {
+		return Line{}, false
+	}
+	old := *l
+	l.State = Invalid
+	l.SpecRead = [MaxEpochs]bool{}
+	l.SpecWritten = [MaxEpochs]bool{}
+	c.Evictions++
+	return old, true
+}
+
+// FlashClearSpec clears the given epoch's speculative bits on every line:
+// the paper's single-cycle commit operation.
+func (c *Cache) FlashClearSpec(epoch int) {
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			set[i].clearSpec(epoch)
+		}
+	}
+}
+
+// ConditionalInvalidate invalidates every line whose speculatively-written
+// bit for the epoch is set (the paper's abort operation) and clears that
+// epoch's bits everywhere. It returns the number of lines invalidated.
+// Invalidated speculative lines are discarded without writeback: the
+// pre-speculative value is guaranteed to live in the next cache level by
+// the cleaning-writeback rule (§3.2).
+func (c *Cache) ConditionalInvalidate(epoch int) int {
+	n := 0
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			l := &set[i]
+			if l.SpecWritten[epoch] && l.State.Valid() {
+				l.State = Invalid
+				n++
+			}
+			l.clearSpec(epoch)
+		}
+	}
+	return n
+}
+
+// SpecLineCount returns how many lines carry speculative bits for the epoch
+// (stats/tests).
+func (c *Cache) SpecLineCount(epoch int) int {
+	n := 0
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			l := &set[i]
+			if l.SpecRead[epoch] || l.SpecWritten[epoch] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line (tests and invariant checks).
+func (c *Cache) ForEachValid(fn func(*Line)) {
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			if set[i].State.Valid() {
+				fn(&set[i])
+			}
+		}
+	}
+}

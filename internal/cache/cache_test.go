@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"invisifence/internal/memtypes"
+)
+
+func mk(t *testing.T, kb, ways int) *Cache {
+	t.Helper()
+	return New(Config{SizeBytes: kb << 10, Ways: ways, HitLatency: 2, Name: "test"})
+}
+
+func TestLookupInstall(t *testing.T) {
+	c := mk(t, 4, 2)
+	a := memtypes.Addr(0x1000)
+	if c.Lookup(a) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	v := c.Victim(a, false)
+	if v == nil {
+		t.Fatal("no victim in empty set")
+	}
+	var d memtypes.BlockData
+	d[3] = 77
+	c.Install(v, a, d, Shared)
+	l := c.Lookup(a)
+	if l == nil || l.Data[3] != 77 || l.State != Shared {
+		t.Fatalf("bad line after install: %+v", l)
+	}
+	// Same block, different word address.
+	if c.Lookup(a+8) == nil {
+		t.Fatal("same-block lookup missed")
+	}
+	// Different set.
+	if c.Lookup(a+memtypes.Addr(c.Sets()*memtypes.BlockBytes)) != nil {
+		t.Fatal("spurious hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mk(t, 4, 2) // 32 sets
+	setStride := memtypes.Addr(c.Sets() * memtypes.BlockBytes)
+	a0, a1, a2 := memtypes.Addr(0), setStride, 2*setStride // same set
+	for _, a := range []memtypes.Addr{a0, a1} {
+		v := c.Victim(a, false)
+		c.Install(v, a, memtypes.BlockData{}, Exclusive)
+	}
+	c.Lookup(a0) // a0 is now MRU
+	v := c.Victim(a2, false)
+	if v.Addr != a1 {
+		t.Fatalf("victim = %#x, want a1 (%#x)", uint64(v.Addr), uint64(a1))
+	}
+}
+
+func TestVictimPrefersNonSpec(t *testing.T) {
+	c := mk(t, 4, 2)
+	setStride := memtypes.Addr(c.Sets() * memtypes.BlockBytes)
+	a0, a1 := memtypes.Addr(0), setStride
+	v := c.Victim(a0, false)
+	c.Install(v, a0, memtypes.BlockData{}, Modified)
+	v = c.Victim(a1, false)
+	c.Install(v, a1, memtypes.BlockData{}, Modified)
+	// Mark the LRU line speculative: the other must be chosen.
+	c.Peek(a0).SpecWritten[0] = true
+	c.Lookup(a1) // make a1 MRU; a0 is LRU but speculative
+	v = c.Victim(2*setStride, false)
+	if v == nil || v.Addr != a1 {
+		t.Fatalf("victim should avoid speculative LRU line")
+	}
+	// With both speculative and allowSpec=false: no victim.
+	c.Peek(a1).SpecRead[1] = true
+	if c.Victim(2*setStride, false) != nil {
+		t.Fatal("victim offered despite all-speculative set")
+	}
+	if c.Victim(2*setStride, true) == nil {
+		t.Fatal("allowSpec should offer a victim")
+	}
+}
+
+func TestVictimFilteredLocked(t *testing.T) {
+	c := mk(t, 4, 2)
+	setStride := memtypes.Addr(c.Sets() * memtypes.BlockBytes)
+	a0, a1 := memtypes.Addr(0), setStride
+	for _, a := range []memtypes.Addr{a0, a1} {
+		v := c.Victim(a, false)
+		c.Install(v, a, memtypes.BlockData{}, Shared)
+	}
+	locked := func(a memtypes.Addr) bool { return a == a0 }
+	v := c.VictimFiltered(2*setStride, false, locked)
+	if v == nil || v.Addr != a1 {
+		t.Fatal("filter did not exclude locked block")
+	}
+}
+
+func TestFlashClearSpec(t *testing.T) {
+	c := mk(t, 4, 2)
+	for i := 0; i < 8; i++ {
+		a := memtypes.Addr(i * memtypes.BlockBytes)
+		v := c.Victim(a, false)
+		c.Install(v, a, memtypes.BlockData{}, Exclusive)
+		l := c.Peek(a)
+		l.SpecRead[0] = i%2 == 0
+		l.SpecWritten[1] = i%3 == 0
+	}
+	c.FlashClearSpec(0)
+	if c.SpecLineCount(0) != 0 {
+		t.Fatal("epoch 0 bits survived flash clear")
+	}
+	if c.SpecLineCount(1) == 0 {
+		t.Fatal("epoch 1 bits should survive epoch 0 clear")
+	}
+}
+
+func TestConditionalInvalidate(t *testing.T) {
+	c := mk(t, 4, 2)
+	aW := memtypes.Addr(0)                       // written speculatively
+	aR := memtypes.Addr(memtypes.BlockBytes)     // only read speculatively
+	aN := memtypes.Addr(2 * memtypes.BlockBytes) // untouched
+	for _, a := range []memtypes.Addr{aW, aR, aN} {
+		v := c.Victim(a, false)
+		c.Install(v, a, memtypes.BlockData{}, Exclusive)
+	}
+	c.Peek(aW).SpecWritten[0] = true
+	c.Peek(aW).State = Modified
+	c.Peek(aR).SpecRead[0] = true
+	n := c.ConditionalInvalidate(0)
+	if n != 1 {
+		t.Fatalf("invalidated %d lines, want 1", n)
+	}
+	if c.Peek(aW) != nil {
+		t.Fatal("speculatively-written line survived abort")
+	}
+	if l := c.Peek(aR); l == nil || l.SpecRead[0] {
+		t.Fatal("speculatively-read line must survive with bits cleared")
+	}
+	if c.Peek(aN) == nil {
+		t.Fatal("untouched line lost")
+	}
+}
+
+func TestInvalidateReturnsOldContents(t *testing.T) {
+	c := mk(t, 4, 2)
+	a := memtypes.Addr(0x40)
+	v := c.Victim(a, false)
+	var d memtypes.BlockData
+	d[1] = 9
+	c.Install(v, a, d, Modified)
+	old, ok := c.Invalidate(a)
+	if !ok || old.Data[1] != 9 || old.State != Modified {
+		t.Fatalf("bad old contents: %+v ok=%v", old, ok)
+	}
+	if _, ok := c.Invalidate(a); ok {
+		t.Fatal("double invalidate reported a line")
+	}
+}
+
+// TestCacheVsReferenceModel is a property test: a random stream of installs,
+// lookups, and invalidations against a map-based reference. Presence in the
+// cache implies data equality with the reference; the reference may hold
+// blocks the cache evicted.
+func TestCacheVsReferenceModel(t *testing.T) {
+	c := mk(t, 2, 2)
+	ref := make(map[memtypes.Addr]memtypes.BlockData)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		a := memtypes.Addr(rng.Intn(256)) * memtypes.BlockBytes
+		switch rng.Intn(3) {
+		case 0: // install/update
+			var d memtypes.BlockData
+			d[0] = memtypes.Word(i)
+			if l := c.Peek(a); l != nil {
+				l.Data = d
+			} else {
+				v := c.Victim(a, true)
+				if v.State.Valid() {
+					delete(ref, v.Addr)
+					c.Invalidate(v.Addr)
+				}
+				c.Install(v, a, d, Exclusive)
+			}
+			ref[a] = d
+		case 1: // lookup
+			l := c.Peek(a)
+			if l != nil {
+				want, ok := ref[a]
+				if !ok {
+					t.Fatalf("cache holds %#x the reference lost", uint64(a))
+				}
+				if l.Data != want {
+					t.Fatalf("data mismatch at %#x", uint64(a))
+				}
+			}
+		case 2: // invalidate
+			c.Invalidate(a)
+			delete(ref, a)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{SizeBytes: 1000, Ways: 2, Name: "odd"},    // not a whole set count
+		{SizeBytes: 3 << 10, Ways: 2, Name: "np2"}, // sets not power of two
+		{SizeBytes: 4 << 10, Ways: 0, Name: "w0"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestLineStateHelpers(t *testing.T) {
+	if Invalid.Valid() || !Shared.Valid() {
+		t.Fatal("Valid()")
+	}
+	if Shared.Writable() || !Exclusive.Writable() || !Modified.Writable() {
+		t.Fatal("Writable()")
+	}
+	f := func(s uint8) bool {
+		st := LineState(s % 4)
+		return st.String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

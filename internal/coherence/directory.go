@@ -1,0 +1,425 @@
+package coherence
+
+import (
+	"fmt"
+
+	"invisifence/internal/memctrl"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+)
+
+// dirState is the stable directory state of a block.
+type dirState uint8
+
+const (
+	dirInvalid dirState = iota // no cached copies
+	dirShared                  // one or more read-only copies
+	dirOwned                   // exactly one Exclusive/Modified copy
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirInvalid:
+		return "I"
+	case dirShared:
+		return "S"
+	case dirOwned:
+		return "O"
+	}
+	return "?"
+}
+
+// txnPhase is the progress state of an in-flight directory transaction.
+type txnPhase uint8
+
+const (
+	phaseWaitMem   txnPhase = iota // waiting for the local memory access
+	phaseWaitAcks                  // waiting for InvAcks (and possibly memory)
+	phaseWaitOwner                 // waiting for OwnerWBS/XferAck from the owner
+)
+
+// txn is one in-flight transaction at the directory.
+type txn struct {
+	kind     MsgKind // GetS, GetX, or Upgrade (after fallback rewriting)
+	req      network.NodeID
+	phase    txnPhase
+	memReady uint64 // cycle the memory read completes (phaseWaitMem/WaitAcks)
+	needMem  bool
+	needAcks int
+	gotAcks  int
+	grantX   bool // Upgrade fast path: grant permission without data
+}
+
+// entry is the directory's record for one block.
+type entry struct {
+	state    dirState
+	owner    network.NodeID
+	sharers  uint64 // bitmask over nodes
+	cur      *txn
+	waitq    []*queuedReq
+	inActive bool
+	addr     memtypes.Addr
+}
+
+type queuedReq struct {
+	src network.NodeID
+	msg *Msg
+}
+
+// Directory is the home directory slice at one node. It owns the node's
+// memory controller and communicates with cache controllers over the
+// network.
+type Directory struct {
+	id      network.NodeID
+	nodes   int
+	mem     *memctrl.Memory
+	net     *network.Network
+	entries map[memtypes.Addr]*entry
+	active  []*entry // entries with an in-flight transaction, insertion order
+	now     uint64
+
+	// Stats.
+	Transactions uint64
+	Forwards     uint64
+	Invals       uint64
+	Queued       uint64
+}
+
+// NewDirectory creates the directory slice for node id.
+func NewDirectory(id network.NodeID, nodes int, mem *memctrl.Memory, net *network.Network) *Directory {
+	return &Directory{
+		id:      id,
+		nodes:   nodes,
+		mem:     mem,
+		net:     net,
+		entries: make(map[memtypes.Addr]*entry),
+	}
+}
+
+func (d *Directory) entryFor(a memtypes.Addr) *entry {
+	e, ok := d.entries[a]
+	if !ok {
+		e = &entry{addr: a}
+		d.entries[a] = e
+	}
+	return e
+}
+
+func (d *Directory) send(dst network.NodeID, m *Msg) {
+	Trace(d.now, fmt.Sprintf("dir%d->%d", d.id, dst), m, "")
+	d.net.Send(d.id, dst, m)
+}
+
+// Handle processes one protocol request arriving at this directory.
+func (d *Directory) Handle(now uint64, src network.NodeID, m *Msg) {
+	d.now = now
+	Trace(now, fmt.Sprintf("dir%d<-%d", d.id, src), m, d.StateOf(m.Addr))
+	a := m.Addr
+	e := d.entryFor(a)
+	switch m.Kind {
+	case GetS, GetX, Upgrade:
+		if e.cur != nil {
+			e.waitq = append(e.waitq, &queuedReq{src, m})
+			d.Queued++
+			return
+		}
+		d.start(a, e, src, m)
+	case PutX:
+		d.handlePutX(a, e, src, m)
+	case InvAck:
+		d.handleInvAck(a, e, src)
+	case OwnerWBS:
+		d.handleOwnerWBS(a, e, src, m)
+	case XferAck:
+		d.handleXferAck(a, e, src)
+	default:
+		panic(fmt.Sprintf("directory %d: unexpected message %v from %d", d.id, m, src))
+	}
+}
+
+// start begins a new transaction for a block known to be idle.
+func (d *Directory) start(a memtypes.Addr, e *entry, src network.NodeID, m *Msg) {
+	d.Transactions++
+	t := &txn{kind: m.Kind, req: src}
+	e.cur = t
+	if !e.inActive {
+		e.inActive = true
+		d.active = append(d.active, e)
+	}
+
+	// An Upgrade whose requestor lost its copy (a queued-behind GetX
+	// invalidated it before we got here) is handled as a full GetX.
+	if t.kind == Upgrade {
+		if e.state == dirShared && e.sharers&(1<<uint(src)) != 0 {
+			t.grantX = true
+		} else {
+			t.kind = GetX
+		}
+	}
+
+	switch t.kind {
+	case GetS:
+		switch e.state {
+		case dirInvalid, dirShared:
+			t.needMem = true
+			t.memReady = d.mem.AccessDone(d.now, a)
+			t.phase = phaseWaitMem
+		case dirOwned:
+			t.phase = phaseWaitOwner
+			d.Forwards++
+			d.send(e.owner, &Msg{Kind: FwdGetS, Addr: a, Req: src})
+		}
+	case GetX, Upgrade:
+		switch e.state {
+		case dirInvalid:
+			t.needMem = true
+			t.memReady = d.mem.AccessDone(d.now, a)
+			t.phase = phaseWaitMem
+		case dirShared:
+			t.phase = phaseWaitAcks
+			if !t.grantX {
+				t.needMem = true
+				t.memReady = d.mem.AccessDone(d.now, a)
+			}
+			for n := 0; n < d.nodes; n++ {
+				bit := uint64(1) << uint(n)
+				if e.sharers&bit == 0 || network.NodeID(n) == src {
+					continue
+				}
+				t.needAcks++
+				d.Invals++
+				d.send(network.NodeID(n), &Msg{Kind: Inv, Addr: a})
+			}
+			if t.needAcks == 0 && !t.needMem {
+				d.finish(a, e)
+				return
+			}
+			if t.needAcks == 0 {
+				t.phase = phaseWaitMem
+			}
+		case dirOwned:
+			t.phase = phaseWaitOwner
+			d.Forwards++
+			d.send(e.owner, &Msg{Kind: FwdGetX, Addr: a, Req: src})
+		}
+	}
+	d.tickTxn(a, e)
+}
+
+// Tick advances any transactions whose memory accesses have completed.
+// Iteration is over an insertion-ordered slice to keep the simulator
+// deterministic.
+func (d *Directory) Tick(now uint64) {
+	d.now = now
+	if len(d.active) == 0 {
+		return
+	}
+	// Index-based so that entries appended by complete()->start() during the
+	// walk are still visited this cycle.
+	for i := 0; i < len(d.active); i++ {
+		e := d.active[i]
+		if e.cur != nil {
+			d.tickTxn(e.addr, e)
+		}
+	}
+	live := d.active[:0]
+	for _, e := range d.active {
+		if e.cur != nil {
+			live = append(live, e)
+		} else {
+			e.inActive = false
+		}
+	}
+	for i := len(live); i < len(d.active); i++ {
+		d.active[i] = nil
+	}
+	d.active = live
+}
+
+// tickTxn completes a transaction whose remaining work (memory latency) is
+// done. Transitions driven by messages are handled in the message handlers.
+func (d *Directory) tickTxn(a memtypes.Addr, e *entry) {
+	t := e.cur
+	if t == nil {
+		return
+	}
+	switch t.phase {
+	case phaseWaitMem:
+		if t.needMem && d.now < t.memReady {
+			return
+		}
+		d.finish(a, e)
+	case phaseWaitAcks:
+		if t.gotAcks < t.needAcks {
+			return
+		}
+		if t.needMem && d.now < t.memReady {
+			t.phase = phaseWaitMem
+			return
+		}
+		d.finish(a, e)
+	case phaseWaitOwner:
+		// Completed by OwnerWBS/XferAck.
+	}
+}
+
+// finish sends the grant for the current transaction and unblocks the queue.
+func (d *Directory) finish(a memtypes.Addr, e *entry) {
+	t := e.cur
+	switch t.kind {
+	case GetS:
+		data := d.mem.ReadBlock(a)
+		if e.state == dirInvalid {
+			e.state = dirOwned
+			e.owner = t.req
+			e.sharers = 0
+			d.send(t.req, &Msg{Kind: DataE, Addr: a, Data: data, HasData: true})
+		} else {
+			e.state = dirShared
+			e.sharers |= 1 << uint(t.req)
+			d.send(t.req, &Msg{Kind: DataS, Addr: a, Data: data, HasData: true})
+		}
+	case GetX, Upgrade:
+		if t.grantX {
+			d.send(t.req, &Msg{Kind: GrantX, Addr: a})
+		} else {
+			data := d.mem.ReadBlock(a)
+			d.send(t.req, &Msg{Kind: DataM, Addr: a, Data: data, HasData: true})
+		}
+		e.state = dirOwned
+		e.owner = t.req
+		e.sharers = 0
+	}
+	d.complete(a, e)
+}
+
+// complete clears the in-flight transaction and drains the wait queue until
+// a queued request blocks the entry again (queued PutX messages complete
+// immediately and keep draining).
+func (d *Directory) complete(a memtypes.Addr, e *entry) {
+	e.cur = nil
+	for len(e.waitq) > 0 && e.cur == nil {
+		q := e.waitq[0]
+		copy(e.waitq, e.waitq[1:])
+		e.waitq[len(e.waitq)-1] = nil
+		e.waitq = e.waitq[:len(e.waitq)-1]
+		if q.msg.Kind == PutX {
+			d.handlePutX(a, e, q.src, q.msg)
+		} else {
+			d.start(a, e, q.src, q.msg)
+		}
+	}
+}
+
+func (d *Directory) handlePutX(a memtypes.Addr, e *entry, src network.NodeID, m *Msg) {
+	if e.cur != nil {
+		// A transaction is in flight; the Fwd to the (evicting) owner is
+		// served from its writeback buffer, and by the time this PutX is
+		// processed, ownership has moved on. Queue it for ordering.
+		e.waitq = append(e.waitq, &queuedReq{src, m})
+		d.Queued++
+		return
+	}
+	if e.state == dirOwned && e.owner == src {
+		if m.Dirty {
+			d.mem.WriteBlock(a, m.Data)
+		}
+		e.state = dirInvalid
+		e.owner = 0
+		e.sharers = 0
+	}
+	// A stale PutX (ownership already transferred) is acknowledged without
+	// touching memory: the current owner's data supersedes it.
+	d.send(src, &Msg{Kind: WBAck, Addr: a})
+}
+
+func (d *Directory) handleInvAck(a memtypes.Addr, e *entry, src network.NodeID) {
+	t := e.cur
+	if t == nil || t.phase != phaseWaitAcks {
+		panic(fmt.Sprintf("directory %d: unexpected InvAck@%#x from %d", d.id, uint64(a), src))
+	}
+	t.gotAcks++
+	d.tickTxn(a, e)
+}
+
+func (d *Directory) handleOwnerWBS(a memtypes.Addr, e *entry, src network.NodeID, m *Msg) {
+	t := e.cur
+	if t == nil || t.phase != phaseWaitOwner || t.kind != GetS {
+		panic(fmt.Sprintf("directory %d: unexpected OwnerWBS@%#x from %d", d.id, uint64(a), src))
+	}
+	// The owner has sent FwdDataS directly to the requestor; record the data
+	// at memory and leave both nodes as sharers.
+	d.mem.WriteBlock(a, m.Data)
+	e.state = dirShared
+	e.sharers = (1 << uint(e.owner)) | (1 << uint(t.req))
+	d.complete(a, e)
+}
+
+func (d *Directory) handleXferAck(a memtypes.Addr, e *entry, src network.NodeID) {
+	t := e.cur
+	if t == nil || t.phase != phaseWaitOwner {
+		panic(fmt.Sprintf("directory %d: unexpected XferAck@%#x from %d", d.id, uint64(a), src))
+	}
+	e.state = dirOwned
+	e.owner = t.req
+	e.sharers = 0
+	d.complete(a, e)
+}
+
+// DebugString dumps in-flight transaction state for diagnostics.
+func (d *Directory) DebugString() string {
+	out := ""
+	for _, e := range d.active {
+		if e.cur == nil {
+			continue
+		}
+		t := e.cur
+		out += fmt.Sprintf("  txn %#x kind=%v req=%d phase=%d acks=%d/%d memReady=%d state=%s owner=%d sharers=%b waitq=%d\n",
+			uint64(e.addr), t.kind, t.req, t.phase, t.gotAcks, t.needAcks, t.memReady,
+			e.state, e.owner, e.sharers, len(e.waitq))
+	}
+	return out
+}
+
+// PendingTransactions reports in-flight transaction count (for quiescence
+// checks in tests).
+func (d *Directory) PendingTransactions() int {
+	n := 0
+	for _, e := range d.active {
+		if e.cur != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// StateOf returns a debug string for a block's directory state.
+func (d *Directory) StateOf(a memtypes.Addr) string {
+	e, ok := d.entries[memtypes.BlockAddr(a)]
+	if !ok {
+		return "I"
+	}
+	s := e.state.String()
+	if e.cur != nil {
+		s += "*"
+	}
+	return s
+}
+
+// Owner returns the current owner if the block is in the Owned state.
+func (d *Directory) Owner(a memtypes.Addr) (network.NodeID, bool) {
+	e, ok := d.entries[memtypes.BlockAddr(a)]
+	if !ok || e.state != dirOwned {
+		return 0, false
+	}
+	return e.owner, true
+}
+
+// Sharers returns the sharer bitmask if the block is in the Shared state.
+func (d *Directory) Sharers(a memtypes.Addr) uint64 {
+	e, ok := d.entries[memtypes.BlockAddr(a)]
+	if !ok {
+		return 0
+	}
+	return e.sharers
+}

@@ -1,0 +1,148 @@
+// Package coherence implements the directory-based invalidation MESI
+// protocol the paper assumes as its conventional substrate (§2.1): a
+// block-granularity protocol that serializes all writes to the same address
+// and informs the processor when a store miss completes.
+//
+// The home directory for each block is address-interleaved across nodes.
+// Directories are blocking: while a transaction for a block is in flight,
+// later requests for that block queue in arrival order, which provides the
+// write serialization the consistency implementations rely on. Dirty data is
+// forwarded owner-to-requestor (3-hop), with a completion message unblocking
+// the directory.
+package coherence
+
+import (
+	"fmt"
+
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+)
+
+// MsgKind enumerates every protocol message type.
+type MsgKind uint8
+
+const (
+	// Requests, cache controller -> home directory.
+
+	// GetS requests a readable copy of a block.
+	GetS MsgKind = iota
+	// GetX requests a writable copy of a block (with data).
+	GetX
+	// Upgrade requests write permission for a block the requestor already
+	// shares; the directory falls back to a full GetX if the requestor's
+	// copy was invalidated in the meantime.
+	Upgrade
+	// PutX writes back an evicted Exclusive or Modified block. Data is
+	// always carried; Dirty says whether memory must be updated.
+	PutX
+
+	// Completion messages, cache controller -> home directory.
+
+	// InvAck acknowledges an Inv.
+	InvAck
+	// OwnerWBS carries the owner's data back to the directory after a
+	// FwdGetS, leaving the block Shared by owner and requestor.
+	OwnerWBS
+	// XferAck tells the directory that ownership moved to the requestor
+	// after a FwdGetX.
+	XferAck
+
+	// Responses and probes, home directory -> cache controller.
+
+	// DataS grants a Shared copy with data.
+	DataS
+	// DataE grants an Exclusive (clean) copy with data; granted on GetS
+	// when no other node holds the block.
+	DataE
+	// DataM grants a Modified (writable) copy with data.
+	DataM
+	// GrantX grants write permission without data (successful Upgrade).
+	GrantX
+	// Inv asks a sharer to invalidate its copy and InvAck the directory.
+	Inv
+	// FwdGetS asks the owner to send DataS to Req and OwnerWBS home.
+	FwdGetS
+	// FwdGetX asks the owner to send DataM to Req, invalidate its copy,
+	// and XferAck home.
+	FwdGetX
+	// WBAck acknowledges a PutX; the evictor may free its writeback buffer.
+	WBAck
+
+	// Owner -> requestor data transfers (3-hop path).
+
+	// FwdDataS is the owner's Shared data reply to the requestor.
+	FwdDataS
+	// FwdDataM is the owner's Modified data reply to the requestor.
+	FwdDataM
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case GetS:
+		return "GetS"
+	case GetX:
+		return "GetX"
+	case Upgrade:
+		return "Upgrade"
+	case PutX:
+		return "PutX"
+	case InvAck:
+		return "InvAck"
+	case OwnerWBS:
+		return "OwnerWBS"
+	case XferAck:
+		return "XferAck"
+	case DataS:
+		return "DataS"
+	case DataE:
+		return "DataE"
+	case DataM:
+		return "DataM"
+	case GrantX:
+		return "GrantX"
+	case Inv:
+		return "Inv"
+	case FwdGetS:
+		return "FwdGetS"
+	case FwdGetX:
+		return "FwdGetX"
+	case WBAck:
+		return "WBAck"
+	case FwdDataS:
+		return "FwdDataS"
+	case FwdDataM:
+		return "FwdDataM"
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// IsDirRequest reports whether the message is handled by a home directory
+// (as opposed to a node's cache controller).
+func (k MsgKind) IsDirRequest() bool {
+	switch k {
+	case GetS, GetX, Upgrade, PutX, InvAck, OwnerWBS, XferAck:
+		return true
+	}
+	return false
+}
+
+// Msg is the payload carried over the network for every protocol message.
+type Msg struct {
+	Kind    MsgKind
+	Addr    memtypes.Addr // always block-aligned
+	Data    memtypes.BlockData
+	HasData bool
+	Dirty   bool           // PutX: memory must be updated
+	Req     network.NodeID // FwdGetS/FwdGetX: the original requestor
+}
+
+func (m *Msg) String() string {
+	return fmt.Sprintf("%s@%#x", m.Kind, uint64(m.Addr))
+}
+
+// HomeOf returns the home node for a block address, interleaving blocks
+// round-robin across nodes.
+func HomeOf(a memtypes.Addr, nodes int) network.NodeID {
+	return network.NodeID(int(a>>memtypes.BlockShift) % nodes)
+}

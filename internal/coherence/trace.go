@@ -1,0 +1,42 @@
+package coherence
+
+import (
+	"fmt"
+
+	"invisifence/internal/memtypes"
+)
+
+// TraceAddr enables message-level tracing for one block address (0 =
+// disabled). Diagnostic aid for protocol debugging; used by tests.
+var TraceAddr memtypes.Addr
+
+// TraceSink receives trace lines; defaults to stdout printing.
+var TraceSink = func(s string) { fmt.Println(s) }
+
+// TraceAlways logs a free-form event whenever tracing is enabled at all.
+func TraceAlways(now uint64, format string, args ...any) {
+	if TraceAddr == 0 {
+		return
+	}
+	TraceSink(fmt.Sprintf("@%d %s", now, fmt.Sprintf(format, args...)))
+}
+
+// TraceEvent logs a free-form event for the traced block.
+func TraceEvent(now uint64, a memtypes.Addr, format string, args ...any) {
+	if TraceAddr == 0 || memtypes.BlockAddr(a) != memtypes.BlockAddr(TraceAddr) {
+		return
+	}
+	TraceSink(fmt.Sprintf("@%d %s", now, fmt.Sprintf(format, args...)))
+}
+
+// Trace logs a protocol event for the traced block.
+func Trace(now uint64, who string, m *Msg, detail string) {
+	if TraceAddr == 0 || memtypes.BlockAddr(m.Addr) != memtypes.BlockAddr(TraceAddr) {
+		return
+	}
+	val := ""
+	if m.HasData {
+		val = fmt.Sprintf(" w0=%d", m.Data[0])
+	}
+	TraceSink(fmt.Sprintf("@%d %s %v%s %s", now, who, m, val, detail))
+}

@@ -1,0 +1,122 @@
+// Package consistency encodes the three memory consistency models the paper
+// evaluates (§2) and the Figure 2 table of conventional implementation
+// requirements: what each model demands at the retirement of loads, stores,
+// atomics, and fences, and which store buffer organization it uses.
+package consistency
+
+import "fmt"
+
+// Model is a memory consistency model.
+type Model uint8
+
+const (
+	// SC is sequential consistency (e.g., MIPS).
+	SC Model = iota
+	// TSO is total store order / processor consistency (SPARC TSO, x86):
+	// relaxes store-to-load ordering only.
+	TSO
+	// RMO is relaxed memory order (SPARC RMO, PowerPC, ARM, Alpha): all
+	// ordering relaxed except at explicit fences.
+	RMO
+)
+
+// Models lists all three in presentation order.
+var Models = []Model{SC, TSO, RMO}
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case SC:
+		return "sc"
+	case TSO:
+		return "tso"
+	case RMO:
+		return "rmo"
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// SBOrganization is the store buffer organization of Figure 2.
+type SBOrganization uint8
+
+const (
+	// SBFIFOWord is the word-granularity FIFO store buffer (SC, TSO).
+	SBFIFOWord SBOrganization = iota
+	// SBCoalescingBlock is the block-granularity unordered coalescing
+	// store buffer (RMO, and every InvisiFence variant).
+	SBCoalescingBlock
+)
+
+// String implements fmt.Stringer.
+func (o SBOrganization) String() string {
+	if o == SBFIFOWord {
+		return "FIFO/word"
+	}
+	return "coalescing/block"
+}
+
+// Rules is one row of Figure 2: the conventional implementation's
+// requirements for retiring each instruction class.
+type Rules struct {
+	Model Model
+	// Relaxations documents the orderings the model relaxes.
+	Relaxations string
+	// SB is the store buffer organization.
+	SB SBOrganization
+	// LoadNeedsDrain: a load may not retire until the store buffer is
+	// empty (SC only).
+	LoadNeedsDrain bool
+	// StoreNeedsOrder: stores must become visible in program order, so a
+	// coalescing (unordered) buffer may not hold more than one epoch of
+	// unordered stores non-speculatively. True for SC and TSO; their
+	// conventional implementations use the FIFO buffer instead.
+	StoreNeedsOrder bool
+	// AtomicNeedsDrain: an atomic may not retire until the store buffer
+	// is empty (SC, TSO).
+	AtomicNeedsDrain bool
+	// AtomicNeedsOwnership: an atomic may not retire until it holds write
+	// permission for its block (all models; Figure 2's "complete store"
+	// for RMO).
+	AtomicNeedsOwnership bool
+	// FenceNeedsDrain: a fence may not retire until the store buffer is
+	// empty (TSO's full fence, RMO's MEMBAR; SC has no fences).
+	FenceNeedsDrain bool
+}
+
+var ruleTable = map[Model]Rules{
+	SC: {
+		Model:                SC,
+		Relaxations:          "none",
+		SB:                   SBFIFOWord,
+		LoadNeedsDrain:       true,
+		StoreNeedsOrder:      true,
+		AtomicNeedsDrain:     true,
+		AtomicNeedsOwnership: true,
+		FenceNeedsDrain:      true, // N/A in practice: SC programs need no fences
+	},
+	TSO: {
+		Model:                TSO,
+		Relaxations:          "store-to-load",
+		SB:                   SBFIFOWord,
+		StoreNeedsOrder:      true,
+		AtomicNeedsDrain:     true,
+		AtomicNeedsOwnership: true,
+		FenceNeedsDrain:      true,
+	},
+	RMO: {
+		Model:                RMO,
+		Relaxations:          "all",
+		SB:                   SBCoalescingBlock,
+		AtomicNeedsOwnership: true,
+		FenceNeedsDrain:      true,
+	},
+}
+
+// RulesFor returns the Figure 2 row for a model.
+func RulesFor(m Model) Rules {
+	r, ok := ruleTable[m]
+	if !ok {
+		panic(fmt.Sprintf("consistency: unknown model %v", m))
+	}
+	return r
+}

@@ -1,0 +1,49 @@
+package consistency
+
+import "testing"
+
+// TestFigure2RuleTable pins the Figure 2 rows: each model's conventional
+// implementation requirements.
+func TestFigure2RuleTable(t *testing.T) {
+	sc := RulesFor(SC)
+	if !sc.LoadNeedsDrain || !sc.AtomicNeedsDrain || sc.SB != SBFIFOWord {
+		t.Fatalf("SC row wrong: %+v", sc)
+	}
+	tso := RulesFor(TSO)
+	if tso.LoadNeedsDrain {
+		t.Fatal("TSO must relax store-to-load ordering")
+	}
+	if !tso.AtomicNeedsDrain || !tso.FenceNeedsDrain || tso.SB != SBFIFOWord {
+		t.Fatalf("TSO row wrong: %+v", tso)
+	}
+	rmo := RulesFor(RMO)
+	if rmo.LoadNeedsDrain || rmo.AtomicNeedsDrain || rmo.StoreNeedsOrder {
+		t.Fatalf("RMO must relax everything: %+v", rmo)
+	}
+	if !rmo.FenceNeedsDrain || !rmo.AtomicNeedsOwnership || rmo.SB != SBCoalescingBlock {
+		t.Fatalf("RMO row wrong: %+v", rmo)
+	}
+}
+
+func TestModelsOrderAndStrings(t *testing.T) {
+	if len(Models) != 3 || Models[0] != SC || Models[1] != TSO || Models[2] != RMO {
+		t.Fatal("Models order changed")
+	}
+	for _, m := range Models {
+		if m.String() == "" || RulesFor(m).Model != m {
+			t.Fatalf("bad model %v", m)
+		}
+	}
+	if SBFIFOWord.String() == SBCoalescingBlock.String() {
+		t.Fatal("SB organization strings collide")
+	}
+}
+
+func TestUnknownModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RulesFor(Model(99))
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"testing"
+
+	"invisifence/internal/consistency"
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/stats"
+)
+
+// fakeHost records the machine-state operations the engine drives.
+type fakeHost struct {
+	now     uint64
+	regs    [isa.NumRegs]memtypes.Word
+	pc      int
+	st      stats.NodeStats
+	drained map[int]bool // epoch -> SBEpochDrained answer
+
+	flashCleared, condInvalidated, sbFlushed []int
+	restored                                 int
+	restoredPC                               int
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{drained: map[int]bool{}}
+}
+
+func (h *fakeHost) Now() uint64 { return h.now }
+func (h *fakeHost) CaptureCheckpoint() ([isa.NumRegs]memtypes.Word, int) {
+	return h.regs, h.pc
+}
+func (h *fakeHost) RestoreCheckpoint(regs [isa.NumRegs]memtypes.Word, pc int) {
+	h.restored++
+	h.restoredPC = pc
+	h.regs = regs
+}
+func (h *fakeHost) FlashClearSpecBits(e int) { h.flashCleared = append(h.flashCleared, e) }
+func (h *fakeHost) CondInvalidateSpec(e int) int {
+	h.condInvalidated = append(h.condInvalidated, e)
+	return 0
+}
+func (h *fakeHost) SBFlashInvalidate(e int) int {
+	h.sbFlushed = append(h.sbFlushed, e)
+	return 0
+}
+func (h *fakeHost) SBEpochDrained(e int) bool { return h.drained[e] }
+func (h *fakeHost) Stats() *stats.NodeStats   { return &h.st }
+
+func TestSelectiveBeginCommit(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultSelective(consistency.SC), h)
+	if e.Speculating() || !e.CanBegin() {
+		t.Fatal("bad initial state")
+	}
+	h.pc = 42
+	ep := e.Begin()
+	if !e.Speculating() || e.YoungestEpoch() != ep || e.OldestEpoch() != ep {
+		t.Fatal("begin bookkeeping wrong")
+	}
+	if e.CanBegin() {
+		t.Fatal("single checkpoint allows a second Begin")
+	}
+	// Not drained: no commit.
+	e.Tick()
+	if !e.Speculating() {
+		t.Fatal("committed before drain")
+	}
+	// Drained: opportunistic constant-time commit.
+	h.drained[ep] = true
+	e.Tick()
+	if e.Speculating() {
+		t.Fatal("did not commit after drain")
+	}
+	if len(h.flashCleared) != 1 || h.flashCleared[0] != ep {
+		t.Fatalf("flash clear calls: %v", h.flashCleared)
+	}
+	if h.st.Commits != 1 || h.st.Speculations != 1 {
+		t.Fatalf("stats: %+v", h.st)
+	}
+}
+
+func TestAbortRestoresOldestCheckpoint(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultSelective(consistency.SC)
+	cfg.MaxCheckpoints = 2
+	e := New(cfg, h)
+	h.pc = 10
+	ep0 := e.Begin()
+	e.OnRetireInstr()
+	h.pc = 20
+	ep1 := e.Begin()
+	if e.EpochAge(ep0) != 0 || e.EpochAge(ep1) != 1 {
+		t.Fatal("age order wrong")
+	}
+	// Abort the older: everything rolls back to pc=10.
+	e.AbortFrom(ep0)
+	if e.Speculating() {
+		t.Fatal("still speculating after full abort")
+	}
+	if h.restoredPC != 10 || h.restored != 1 {
+		t.Fatalf("restored pc %d (%d times)", h.restoredPC, h.restored)
+	}
+	if len(h.sbFlushed) != 2 || len(h.condInvalidated) != 2 {
+		t.Fatalf("flush calls: sb=%v cond=%v", h.sbFlushed, h.condInvalidated)
+	}
+	if h.st.Aborts != 2 {
+		t.Fatalf("aborts = %d, want 2 (both epochs)", h.st.Aborts)
+	}
+}
+
+func TestPartialAbortKeepsOlder(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultSelective(consistency.SC)
+	cfg.MaxCheckpoints = 2
+	e := New(cfg, h)
+	h.pc = 10
+	ep0 := e.Begin()
+	h.pc = 20
+	ep1 := e.Begin()
+	e.AbortFrom(ep1)
+	if !e.Speculating() || e.OldestEpoch() != ep0 || e.YoungestEpoch() != ep0 {
+		t.Fatal("older epoch must survive a partial abort")
+	}
+	if h.restoredPC != 20 {
+		t.Fatalf("restored pc %d, want 20", h.restoredPC)
+	}
+}
+
+func TestForwardProgressGrace(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultSelective(consistency.SC), h)
+	e.Begin()
+	e.AbortAll()
+	if e.CanBegin() {
+		t.Fatal("Begin allowed immediately after abort (forward progress, §3.2)")
+	}
+	// One instruction retires non-speculatively: grace satisfied.
+	e.OnRetireInstr()
+	if !e.CanBegin() {
+		t.Fatal("grace not cleared by a non-speculative retirement")
+	}
+}
+
+func TestContinuousChunking(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultContinuous(false), h)
+	// First Tick opens the first chunk.
+	e.Tick()
+	if !e.Speculating() {
+		t.Fatal("continuous mode did not open a chunk")
+	}
+	first := e.YoungestEpoch()
+	// Retire past the minimum chunk size: a new chunk must open, with the
+	// old one closed and awaiting drain.
+	for i := 0; i < e.Config().MinChunk; i++ {
+		e.OnRetireInstr()
+	}
+	e.Tick()
+	if len(e.ActiveEpochs()) != 2 {
+		t.Fatalf("active epochs = %v, want pipelined pair", e.ActiveEpochs())
+	}
+	// Drain the first: it commits; the second keeps running.
+	h.drained[first] = true
+	e.Tick()
+	if len(e.ActiveEpochs()) != 1 || e.OldestEpoch() == first {
+		t.Fatal("closed chunk did not commit after drain")
+	}
+	if h.st.Commits != 1 {
+		t.Fatalf("commits = %d", h.st.Commits)
+	}
+}
+
+func TestContinuousHaltStopsChunking(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultContinuous(false), h)
+	e.Tick()
+	ep := e.YoungestEpoch()
+	e.RequestHalt()
+	h.drained[ep] = true
+	e.Tick()
+	if e.Speculating() {
+		t.Fatal("open chunk did not close and commit at halt")
+	}
+	e.Tick()
+	if e.Speculating() {
+		t.Fatal("halt must stop new chunks")
+	}
+	// An abort cancels the halt (the Halt itself was speculative).
+	// (Simulate: new begin after clearing halt via AbortFrom path.)
+}
+
+func TestAbortClearsHaltRequest(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultContinuous(false), h)
+	e.Tick()
+	e.RequestHalt()
+	e.AbortAll()
+	e.OnRetireInstr()
+	e.Tick()
+	if !e.Speculating() {
+		t.Fatal("abort must clear the halt request and reopen a chunk")
+	}
+}
+
+func TestASOSSBCapacityAndPeriodicCheckpoints(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultASO()
+	cfg.ASOSSBCapacity = 3
+	cfg.ASOCkptInterval = 5
+	e := New(cfg, h)
+	e.Begin()
+	for i := 0; i < 3; i++ {
+		if !e.OnSpecStore() {
+			t.Fatalf("SSB rejected store %d under capacity", i)
+		}
+	}
+	if e.OnSpecStore() {
+		t.Fatal("SSB accepted store beyond capacity")
+	}
+	// Periodic checkpoints at the retirement interval.
+	for i := 0; i < 5; i++ {
+		e.OnRetireInstr()
+	}
+	if len(e.ActiveEpochs()) != 2 {
+		t.Fatalf("ASO periodic checkpoint not taken: %v", e.ActiveEpochs())
+	}
+}
+
+func TestASOCommitDrainWindow(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultASO(), h)
+	ep := e.Begin()
+	for i := 0; i < 10; i++ {
+		e.OnSpecStore()
+	}
+	h.now = 1000
+	h.drained[ep] = true
+	e.Tick()
+	if e.Speculating() {
+		t.Fatal("no commit")
+	}
+	want := uint64(1000 + 10*e.Config().ASODrainPerStore)
+	if e.CommitBusyUntil() != want {
+		t.Fatalf("commit busy until %d, want %d (drain cost per store)", e.CommitBusyUntil(), want)
+	}
+}
+
+func TestCoVPolicy(t *testing.T) {
+	h := newFakeHost()
+	e := New(DefaultContinuous(true), h)
+	if !e.DeferAllowed() {
+		t.Fatal("CoV config must allow deferral")
+	}
+	if got := e.CoVDeadline(100); got != 4100 {
+		t.Fatalf("deadline = %d, want 4100 (4000-cycle window)", got)
+	}
+	e2 := New(DefaultContinuous(false), h)
+	if e2.DeferAllowed() {
+		t.Fatal("abort-immediately config must not defer")
+	}
+}
+
+func TestTryCommitAllNow(t *testing.T) {
+	h := newFakeHost()
+	cfg := DefaultSelective(consistency.SC)
+	cfg.MaxCheckpoints = 2
+	e := New(cfg, h)
+	ep0 := e.Begin()
+	ep1 := e.Begin()
+	if e.TryCommitAllNow() {
+		t.Fatal("committed with undrained buffer")
+	}
+	h.drained[ep0] = true
+	h.drained[ep1] = true
+	if !e.TryCommitAllNow() {
+		t.Fatal("forced commit failed despite drained buffer")
+	}
+	if h.st.ForcedCommits == 0 {
+		t.Fatal("forced commits not counted")
+	}
+}
+
+func TestSpeculatesOnDescriptions(t *testing.T) {
+	for _, m := range consistency.Models {
+		e := New(DefaultSelective(m), newFakeHost())
+		if e.SpeculatesOn() == "" || e.SpeculatesOn() == "nothing" {
+			t.Fatalf("%v: bad description", m)
+		}
+	}
+	if New(DefaultContinuous(false), newFakeHost()).SpeculatesOn() != "continuous chunks" {
+		t.Fatal("continuous description wrong")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []Mode{ModeOff, ModeSelective, ModeContinuous, ModeASO} {
+		if m.String() == "" {
+			t.Fatal("empty mode string")
+		}
+	}
+}

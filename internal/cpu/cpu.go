@@ -1,0 +1,924 @@
+// Package cpu models the out-of-order processor core of Figure 6: a 4-wide,
+// 96-entry-ROB machine with speculative out-of-order load execution,
+// store-to-load forwarding, optimistic memory disambiguation with replay,
+// a bimodal branch predictor, and in-order retirement.
+//
+// The core is "functional-at-execute": instruction values are computed when
+// the timing model executes them, against the simulated memory system. All
+// recovery paths (branch mispredicts, in-window memory-ordering replays
+// triggered by load-queue snooping, and post-retirement speculation aborts
+// driven by the InvisiFence engine) restore architectural register state and
+// refetch, so rollback is functionally real.
+//
+// Memory-ordering policy is delegated to a Backend (implemented by the node):
+// the core asks the backend to retire every load, store, atomic, and fence,
+// and the backend applies the Figure 2 consistency rules or initiates
+// InvisiFence speculation.
+package cpu
+
+import (
+	"fmt"
+
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+)
+
+// StallReason classifies why retirement is blocked this cycle.
+type StallReason uint8
+
+const (
+	// StallNone: not stalled (or ROB empty).
+	StallNone StallReason = iota
+	// StallSBFull: a store cannot retire because the store buffer is full.
+	StallSBFull
+	// StallSBDrain: retirement waits for the store buffer to drain due to
+	// an ordering requirement.
+	StallSBDrain
+	// StallOther: data stalls (load miss at head, atomic data wait, ...).
+	StallOther
+)
+
+// String implements fmt.Stringer.
+func (r StallReason) String() string {
+	switch r {
+	case StallNone:
+		return "none"
+	case StallSBFull:
+		return "sb-full"
+	case StallSBDrain:
+		return "sb-drain"
+	case StallOther:
+		return "other"
+	}
+	return fmt.Sprintf("StallReason(%d)", uint8(r))
+}
+
+// LoadStatus is the immediate outcome of Backend.StartLoad.
+type LoadStatus uint8
+
+const (
+	// LoadForwarded: value supplied by the post-retirement store buffer.
+	LoadForwarded LoadStatus = iota
+	// LoadHit: value supplied by the L1 after its hit latency.
+	LoadHit
+	// LoadMiss: a fill is outstanding; the backend will call
+	// Core.FillLoad(tag, value) when data arrives.
+	LoadMiss
+	// LoadRetry: no resources (MSHR full); the core retries next cycle.
+	LoadRetry
+)
+
+// LoadResult is the backend's answer to StartLoad.
+type LoadResult struct {
+	Status  LoadStatus
+	Value   memtypes.Word
+	ReadyAt uint64 // cycle the value may feed dependents (Forwarded/Hit)
+}
+
+// Backend is the node-side memory system and consistency/speculation policy
+// the core talks to.
+type Backend interface {
+	// StartLoad begins a load's memory access. tag identifies the request
+	// for a later FillLoad on a miss.
+	StartLoad(tag uint64, addr memtypes.Addr) LoadResult
+	// RetireLoad applies retirement policy for a load whose value is
+	// already bound. fromL1 reports whether the value came from the memory
+	// system (as opposed to in-window forwarding).
+	RetireLoad(addr memtypes.Addr, fromL1 bool) (bool, StallReason)
+	// RetireStore attempts to make a store visible (L1 write or store
+	// buffer entry) at retirement.
+	RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, StallReason)
+	// RetireAtomic attempts to perform an atomic read-modify-write at
+	// retirement, returning the old value when it completes.
+	RetireAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes.Word) (bool, memtypes.Word, StallReason)
+	// RetireFence applies retirement policy for a memory fence.
+	RetireFence() (bool, StallReason)
+	// OnRetireInstr is called once per retired instruction (chunk sizing,
+	// forward-progress tracking).
+	OnRetireInstr()
+}
+
+// Config sizes the core (defaults follow Figure 6).
+type Config struct {
+	FetchWidth      int
+	IssueWidth      int
+	RetireWidth     int
+	ROBSize         int
+	MemPorts        int
+	RedirectPenalty uint64
+	PredictorBits   int // log2 of bimodal predictor entries
+	// IssueWindow caps how many waiting instructions the scheduler
+	// examines per cycle (the issue queue is smaller than the ROB in real
+	// machines; this also bounds simulation cost).
+	IssueWindow int
+}
+
+// DefaultConfig returns the Figure 6 core: 4-wide, 96-entry ROB, 3 memory
+// ports, 8-stage pipeline (a 6-cycle redirect penalty).
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      4,
+		IssueWidth:      4,
+		RetireWidth:     4,
+		ROBSize:         96,
+		MemPorts:        3,
+		RedirectPenalty: 6,
+		PredictorBits:   12,
+		IssueWindow:     40,
+	}
+}
+
+// entry states.
+const (
+	sDispatched uint8 = iota
+	sIssued           // executing (doneAt pending) or load access in flight
+	sDone             // value bound (for atomics: only after retirement action)
+)
+
+type robEntry struct {
+	used bool
+	seq  uint64
+	pc   int
+	in   isa.Instr
+
+	predNext int // fetch-time predicted successor pc
+
+	state   uint8
+	doneAt  uint64
+	value   memtypes.Word
+	addr    memtypes.Addr
+	addrOK  bool
+	dataVal memtypes.Word // staged store data
+
+	// Load bookkeeping.
+	valueOK   bool   // value bound (may still be before doneAt)
+	fwdSQ     bool   // value forwarded from an in-flight (in-window) store
+	fwdSeq    uint64 // seq of the forwarding store
+	fromL1    bool   // value came from the memory system (SB/L1/fill)
+	pendFill  bool   // waiting for FillLoad
+	issueport bool   // consumed a memory port when issued
+
+	// Operand capture. srcSeq validates srcRef against slot reuse: if the
+	// slot no longer holds that seq, the producer retired and its value is
+	// in the architectural file under srcReg.
+	srcRef [3]int // producer ROB slot or -1
+	srcSeq [3]uint64
+	srcReg [3]isa.Reg
+	opVal  [3]memtypes.Word
+	opOK   [3]bool
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	cfg     Config
+	id      int
+	prog    *isa.Program
+	backend Backend
+	now     uint64
+
+	archRegs [isa.NumRegs]memtypes.Word
+	pc       int
+	halted   bool
+
+	rob         []robEntry
+	head        int
+	tail        int // next free slot index
+	count       int
+	nextSeq     uint64
+	rename      [isa.NumRegs]int // ROB slot of latest producer, -1 = architectural
+	fetchPC     int
+	stallTil    uint64
+	fetchedHalt bool
+
+	// LQ/SQ: slots of in-flight loads and stores/atomics in program
+	// order, and the list of executing entries awaiting completion.
+	loadQ  []int
+	storeQ []int
+	execQ  []int
+
+	pred     []uint8 // bimodal 2-bit counters
+	predMask uint32
+
+	// Per-cycle outputs for the node's accounting.
+	RetiredThisCycle int
+	HeadStall        StallReason
+
+	// Stats.
+	Retired, RetiredLoads, RetiredStores, RetiredAtomics, RetiredFences uint64
+	Mispredicts, Replays, Squashes                                      uint64
+	FetchedWrongPath                                                    uint64
+}
+
+// New creates a core running prog with the given initial register state.
+func New(id int, cfg Config, prog *isa.Program, regs [isa.NumRegs]memtypes.Word, backend Backend) *Core {
+	if cfg.ROBSize <= 0 {
+		panic("cpu: ROB size must be positive")
+	}
+	c := &Core{
+		cfg:      cfg,
+		id:       id,
+		prog:     prog,
+		backend:  backend,
+		rob:      make([]robEntry, cfg.ROBSize),
+		pred:     make([]uint8, 1<<cfg.PredictorBits),
+		predMask: uint32(1<<cfg.PredictorBits - 1),
+	}
+	c.archRegs = regs
+	c.archRegs[isa.R0] = 0
+	for i := range c.rename {
+		c.rename[i] = -1
+	}
+	// Weakly-taken initial counters help tight spin loops converge fast.
+	for i := range c.pred {
+		c.pred[i] = 2
+	}
+	return c
+}
+
+// Halted reports whether the program has retired its Halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// ArchReg returns the committed value of a register.
+func (c *Core) ArchReg(r isa.Reg) memtypes.Word { return c.archRegs[r] }
+
+// ArchPC returns the committed program counter.
+func (c *Core) ArchPC() int { return c.pc }
+
+// ROBOccupancy returns the number of in-flight instructions.
+func (c *Core) ROBOccupancy() int { return c.count }
+
+func (c *Core) slotAge(slot int) int {
+	// Age = distance from head in ring order.
+	d := slot - c.head
+	if d < 0 {
+		d += c.cfg.ROBSize
+	}
+	return d
+}
+
+func (c *Core) older(a, b int) bool { return c.slotAge(a) < c.slotAge(b) }
+
+// Tick advances the core one cycle: complete, retire, issue, fetch.
+func (c *Core) Tick(now uint64) {
+	c.now = now
+	c.RetiredThisCycle = 0
+	c.HeadStall = StallNone
+	if c.halted {
+		return
+	}
+	c.promote()
+	c.retire()
+	c.issue()
+	c.fetch()
+}
+
+// promote marks finished executions done so they can retire this cycle.
+// Only entries on the exec queue (issued with a completion time) are
+// examined; squashed entries are dropped by seq mismatch.
+func (c *Core) promote() {
+	if len(c.execQ) == 0 {
+		return
+	}
+	live := c.execQ[:0]
+	for _, s := range c.execQ {
+		e := &c.rob[s]
+		if !e.used || e.state != sIssued || e.pendFill {
+			continue // squashed, reused, or re-queued via FillLoad
+		}
+		if c.now >= e.doneAt {
+			e.state = sDone
+			continue
+		}
+		live = append(live, s)
+	}
+	c.execQ = live
+}
+
+// queueExec registers an issued entry for later completion.
+func (c *Core) queueExec(slot int) { c.execQ = append(c.execQ, slot) }
+
+// ---------------------------------------------------------------- retire
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.RetireWidth; n++ {
+		if c.count == 0 {
+			if c.RetiredThisCycle == 0 {
+				c.HeadStall = StallOther
+			}
+			return
+		}
+		e := &c.rob[c.head]
+		in := e.in
+		switch {
+		case in.Op == isa.Halt:
+			c.commitEntry(e)
+			c.halted = true
+			return
+		case in.Op == isa.Fence:
+			ok, why := c.backend.RetireFence()
+			if !ok {
+				c.stallAt(why)
+				return
+			}
+			c.RetiredFences++
+			c.commitEntry(e)
+		case in.Op.IsLoad():
+			if e.state != sDone || c.now < e.doneAt {
+				c.stallAt(StallOther)
+				return
+			}
+			ok, why := c.backend.RetireLoad(e.addr, e.fromL1)
+			if !ok {
+				c.stallAt(why)
+				return
+			}
+			c.RetiredLoads++
+			c.commitEntry(e)
+		case in.Op.IsStore():
+			if e.state != sDone {
+				c.stallAt(StallOther)
+				return
+			}
+			ok, why := c.backend.RetireStore(e.addr, e.dataVal)
+			if !ok {
+				c.stallAt(why)
+				return
+			}
+			c.RetiredStores++
+			c.commitEntry(e)
+		case in.Op.IsAtomic():
+			c.captureOps(e)
+			if !e.addrOK || !e.opOK[1] || (in.Op == isa.Cas && !e.opOK[2]) {
+				c.stallAt(StallOther)
+				return
+			}
+			var opB memtypes.Word
+			if in.Op == isa.Cas {
+				opB = e.opVal[2]
+			}
+			ok, old, why := c.backend.RetireAtomic(in.Op, e.addr, e.opVal[1], opB)
+			if !ok {
+				c.stallAt(why)
+				return
+			}
+			e.value = old
+			e.state = sDone
+			c.RetiredAtomics++
+			c.commitEntry(e)
+		default:
+			if e.state != sDone || c.now < e.doneAt {
+				c.stallAt(StallOther)
+				return
+			}
+			c.commitEntry(e)
+		}
+	}
+}
+
+func (c *Core) stallAt(why StallReason) {
+	if c.RetiredThisCycle == 0 {
+		c.HeadStall = why
+	}
+}
+
+// commitEntry retires the head entry: architectural state update and
+// rename release. In-flight consumers referencing this slot detect the
+// retirement by seq mismatch and read the architectural file instead.
+func (c *Core) commitEntry(e *robEntry) {
+	slot := c.head
+	in := e.in
+	if in.Op.WritesRd() && in.Rd != isa.R0 {
+		c.archRegs[in.Rd] = e.value
+		if c.rename[in.Rd] == slot {
+			c.rename[in.Rd] = -1
+		}
+	}
+	if len(c.loadQ) > 0 && c.loadQ[0] == slot {
+		c.loadQ = c.loadQ[1:]
+	}
+	if len(c.storeQ) > 0 && c.storeQ[0] == slot {
+		c.storeQ = c.storeQ[1:]
+	}
+	c.pc = e.predNext // committed successor (mispredicts were squashed at execute)
+	e.used = false
+	c.head = (c.head + 1) % c.cfg.ROBSize
+	c.count--
+	c.Retired++
+	c.RetiredThisCycle++
+	c.backend.OnRetireInstr()
+}
+
+// ----------------------------------------------------------------- issue
+
+func (c *Core) issue() {
+	issued := 0
+	memIssued := 0
+	window := c.cfg.IssueWindow
+	if window <= 0 {
+		window = c.cfg.ROBSize
+	}
+	examined := 0
+	for i, s := 0, c.head; i < c.count && issued < c.cfg.IssueWidth && examined < window; i, s = i+1, (s+1)%c.cfg.ROBSize {
+		e := &c.rob[s]
+		if e.state != sDispatched {
+			continue
+		}
+		examined++
+		if !c.operandsReady(e) {
+			continue
+		}
+		in := e.in
+		switch {
+		case in.Op == isa.Halt || in.Op == isa.Fence:
+			// No execution; retirement policy handles them at the head.
+			e.state = sDone
+			e.doneAt = c.now
+		case in.Op.IsLoad():
+			if memIssued >= c.cfg.MemPorts {
+				continue
+			}
+			if c.issueLoad(s, e) {
+				memIssued++
+				issued++
+			}
+		case in.Op.IsStore():
+			e.addr = memtypes.WordAlign(memtypes.Addr(e.opVal[0]) + memtypes.Addr(in.Imm))
+			e.addrOK = true
+			e.dataVal = e.opVal[1]
+			e.state = sDone
+			e.doneAt = c.now
+			issued++
+			c.checkStoreConflicts(s, e)
+		case in.Op.IsAtomic():
+			// Address generation only; the RMW happens at retirement.
+			e.addr = memtypes.WordAlign(memtypes.Addr(e.opVal[0]) + memtypes.Addr(in.Imm))
+			e.addrOK = true
+			e.state = sIssued
+			e.doneAt = c.now
+			issued++
+			c.checkStoreConflicts(s, e)
+		case in.Op.IsBranch():
+			mispredicted := c.executeBranch(s, e)
+			issued++
+			if mispredicted {
+				// Younger entries are gone; stop the scan.
+				return
+			}
+		default:
+			e.value = evalALU(in, e.opVal[0], e.opVal[1])
+			e.state = sIssued
+			e.doneAt = c.now + in.Op.Latency(in.Imm)
+			c.queueExec(s)
+			issued++
+		}
+	}
+}
+
+// captureOps lazily captures operands whose producers completed after this
+// entry's dispatch (used by the atomic retirement path).
+func (c *Core) captureOps(e *robEntry) {
+	for k := 0; k < 3; k++ {
+		if !e.opOK[k] {
+			c.captureOp(e, k)
+		}
+	}
+}
+
+// captureOp tries to bind operand k. The producer may have retired (seq
+// mismatch after slot reuse, or slot freed): then the architectural file
+// holds its value — any in-flight intervening writer of the same register
+// would have been the rename source instead.
+func (c *Core) captureOp(e *robEntry, k int) bool {
+	p := e.srcRef[k]
+	if p < 0 {
+		e.opOK[k] = true
+		return true
+	}
+	pe := &c.rob[p]
+	if !pe.used || pe.seq != e.srcSeq[k] {
+		e.opVal[k] = c.archRegs[e.srcReg[k]]
+		e.opOK[k] = true
+		e.srcRef[k] = -1
+		return true
+	}
+	if pe.state == sDone && c.now >= pe.doneAt {
+		e.opVal[k] = pe.value
+		e.opOK[k] = true
+		e.srcRef[k] = -1
+		return true
+	}
+	return false
+}
+
+// operandsReady captures any newly available operands and reports readiness.
+func (c *Core) operandsReady(e *robEntry) bool {
+	ready := true
+	for k := 0; k < 3; k++ {
+		if e.opOK[k] {
+			continue
+		}
+		if !c.captureOp(e, k) {
+			ready = false
+		}
+	}
+	// Loads and atomics only need rs1 (+rs2/rs3 for retirement, captured
+	// separately); address generation can proceed on rs1 alone.
+	switch {
+	case e.in.Op.IsLoad():
+		return e.opOK[0]
+	case e.in.Op.IsAtomic():
+		return e.opOK[0]
+	}
+	return ready
+}
+
+// issueLoad computes the address, searches older in-flight stores, and
+// falls back to the memory system. Returns true if a port was consumed.
+func (c *Core) issueLoad(slot int, e *robEntry) bool {
+	e.addr = memtypes.WordAlign(memtypes.Addr(e.opVal[0]) + memtypes.Addr(e.in.Imm))
+	e.addrOK = true
+	// Search older stores/atomics (store queue, youngest-first) for a
+	// same-word match.
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		o := &c.rob[c.storeQ[i]]
+		if o.seq >= e.seq {
+			continue // younger than the load
+		}
+		if !o.addrOK || o.addr != e.addr {
+			continue
+		}
+		if o.in.Op.IsStore() {
+			// Forward staged data.
+			e.value = o.dataVal
+			e.valueOK = true
+			e.fwdSQ = true
+			e.fwdSeq = o.seq
+			e.fromL1 = false
+			e.state = sIssued
+			e.doneAt = c.now + 1
+			c.queueExec(slot)
+			return true
+		}
+		// The atomic's result is unknown until it retires: wait.
+		return false
+	}
+	// Optimistic past unknown-address stores; the store-side conflict check
+	// replays us if we were wrong.
+	res := c.backend.StartLoad(e.seq, e.addr)
+	switch res.Status {
+	case LoadRetry:
+		e.addrOK = true
+		return true // port consumed, retry next cycle
+	case LoadForwarded, LoadHit:
+		e.value = res.Value
+		e.valueOK = true
+		e.fromL1 = res.Status == LoadHit
+		e.state = sIssued
+		e.doneAt = res.ReadyAt
+		c.queueExec(slot)
+	case LoadMiss:
+		e.pendFill = true
+		e.fromL1 = true
+		e.state = sIssued
+		e.doneAt = ^uint64(0) >> 1
+	}
+	return true
+}
+
+// checkStoreConflicts implements optimistic disambiguation: when a store or
+// atomic computes its address, the oldest younger load that executed with a
+// value not forwarded from it and that overlaps its word is replayed.
+func (c *Core) checkStoreConflicts(slot int, st *robEntry) {
+	for _, s := range c.loadQ {
+		l := &c.rob[s]
+		if l.seq <= st.seq {
+			continue
+		}
+		if l.valueOK && l.addrOK && l.addr == st.addr && l.fwdSeq != st.seq {
+			c.Replays++
+			c.squashFrom(s)
+			return
+		}
+	}
+}
+
+// executeBranch resolves a branch at issue and redirects on mispredict.
+// It reports whether a mispredict squashed younger entries.
+func (c *Core) executeBranch(slot int, e *robEntry) bool {
+	actual := c.branchTarget(e)
+	e.state = sDone
+	e.doneAt = c.now
+	e.value = 0
+	c.updatePredictor(e.pc, actual != e.pc+1)
+	if actual == e.predNext {
+		return false
+	}
+	c.Mispredicts++
+	e.predNext = actual
+	if c.slotAge(slot)+1 < c.count {
+		c.squashSlots((slot + 1) % c.cfg.ROBSize)
+	}
+	c.fetchPC = actual
+	c.fetchedHalt = false
+	c.stallTil = c.now + c.cfg.RedirectPenalty
+	return true
+}
+
+func (c *Core) branchTarget(e *robEntry) int {
+	in := e.in
+	taken := false
+	switch in.Op {
+	case isa.Br:
+		taken = true
+	case isa.Beq:
+		taken = e.opVal[0] == e.opVal[1]
+	case isa.Bne:
+		taken = e.opVal[0] != e.opVal[1]
+	case isa.Bltu:
+		taken = e.opVal[0] < e.opVal[1]
+	case isa.Bgeu:
+		taken = e.opVal[0] >= e.opVal[1]
+	}
+	if taken {
+		return in.Target
+	}
+	return e.pc + 1
+}
+
+// ----------------------------------------------------------------- fetch
+
+func (c *Core) fetch() {
+	if c.now < c.stallTil || c.fetchedHalt {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth && c.count < c.cfg.ROBSize; n++ {
+		if c.fetchPC < 0 || c.fetchPC >= len(c.prog.Instrs) {
+			// Fell off the program (wrong path); stop until redirected.
+			c.FetchedWrongPath++
+			return
+		}
+		in := c.prog.Instrs[c.fetchPC]
+		next := c.fetchPC + 1
+		if in.Op == isa.Br {
+			next = in.Target
+		} else if in.Op.IsCondBranch() && c.predictTaken(c.fetchPC) {
+			next = in.Target
+		}
+		c.dispatch(c.fetchPC, in, next)
+		if in.Op == isa.Halt {
+			c.fetchedHalt = true
+			return
+		}
+		c.fetchPC = next
+	}
+}
+
+func (c *Core) dispatch(pc int, in isa.Instr, predNext int) {
+	slot := c.tail
+	e := &c.rob[slot]
+	c.nextSeq++
+	*e = robEntry{
+		used:     true,
+		seq:      c.nextSeq,
+		pc:       pc,
+		in:       in,
+		predNext: predNext,
+		state:    sDispatched,
+	}
+	for k := 0; k < 3; k++ {
+		e.srcRef[k] = -1
+		e.opOK[k] = true
+	}
+	bind := func(k int, r isa.Reg) {
+		if r == isa.R0 {
+			e.opVal[k] = 0
+			e.opOK[k] = true
+			e.srcRef[k] = -1
+			return
+		}
+		if p := c.rename[r]; p >= 0 {
+			pe := &c.rob[p]
+			if pe.state == sDone && c.now >= pe.doneAt {
+				e.opVal[k] = pe.value
+				e.opOK[k] = true
+			} else {
+				e.srcRef[k] = p
+				e.srcSeq[k] = pe.seq
+				e.srcReg[k] = r
+				e.opOK[k] = false
+			}
+		} else {
+			e.opVal[k] = c.archRegs[r]
+			e.opOK[k] = true
+		}
+	}
+	switch {
+	case in.Op == isa.MovI || in.Op == isa.Delay || in.Op == isa.Nop || in.Op == isa.Halt || in.Op == isa.Fence || in.Op == isa.Br:
+		// No sources.
+	case in.Op == isa.AddI || in.Op == isa.ShlI || in.Op == isa.ShrI || in.Op.IsLoad():
+		bind(0, in.Rs1)
+	case in.Op == isa.Cas:
+		bind(0, in.Rs1)
+		bind(1, in.Rs2)
+		bind(2, in.Rs3)
+	default:
+		bind(0, in.Rs1)
+		bind(1, in.Rs2)
+	}
+	if in.Op == isa.MovI {
+		e.opOK[0] = true
+	}
+	if in.Op.WritesRd() && in.Rd != isa.R0 {
+		c.rename[in.Rd] = slot
+	}
+	if in.Op.IsLoad() {
+		c.loadQ = append(c.loadQ, slot)
+	} else if in.Op.IsStore() || in.Op.IsAtomic() {
+		c.storeQ = append(c.storeQ, slot)
+	}
+	c.tail = (c.tail + 1) % c.cfg.ROBSize
+	c.count++
+}
+
+// ---------------------------------------------------------------- squash
+
+// squashFrom squashes the entry at slot and everything younger, restarting
+// fetch at that entry's pc (replay).
+func (c *Core) squashFrom(slot int) {
+	pc := c.rob[slot].pc
+	c.squashSlots(slot)
+	c.fetchPC = pc
+	c.fetchedHalt = false
+	c.stallTil = c.now + c.cfg.RedirectPenalty
+}
+
+// squashSlots removes the entry at slot and everything younger from the ROB
+// and rebuilds the rename table.
+func (c *Core) squashSlots(slot int) {
+	n := c.slotAge(slot)
+	for i, s := n, slot; i < c.count; i, s = i+1, (s+1)%c.cfg.ROBSize {
+		c.rob[s].used = false
+	}
+	c.count = n
+	c.tail = slot
+	c.Squashes++
+	c.rebuildRename()
+}
+
+// FlushAll squashes the entire pipeline and redirects fetch to pc with
+// architectural registers replaced by regs: the InvisiFence abort path.
+// A Halt that retired speculatively is rolled back too: the core resumes.
+func (c *Core) FlushAll(regs [isa.NumRegs]memtypes.Word, pc int) {
+	for i, s := 0, c.head; i < c.count; i, s = i+1, (s+1)%c.cfg.ROBSize {
+		c.rob[s].used = false
+	}
+	c.count = 0
+	c.tail = c.head
+	c.archRegs = regs
+	c.archRegs[isa.R0] = 0
+	c.pc = pc
+	c.fetchPC = pc
+	c.fetchedHalt = false
+	c.halted = false
+	c.stallTil = c.now + c.cfg.RedirectPenalty
+	c.Squashes++
+	c.rebuildRename()
+}
+
+// rebuildRename reconstructs the rename table and the load/store/exec
+// queues from the surviving ROB entries after a squash.
+func (c *Core) rebuildRename() {
+	for i := range c.rename {
+		c.rename[i] = -1
+	}
+	c.loadQ = c.loadQ[:0]
+	c.storeQ = c.storeQ[:0]
+	c.execQ = c.execQ[:0]
+	for i, s := 0, c.head; i < c.count; i, s = i+1, (s+1)%c.cfg.ROBSize {
+		e := &c.rob[s]
+		if e.in.Op.WritesRd() && e.in.Rd != isa.R0 {
+			c.rename[e.in.Rd] = s
+		}
+		if e.in.Op.IsLoad() {
+			c.loadQ = append(c.loadQ, s)
+		} else if e.in.Op.IsStore() || e.in.Op.IsAtomic() {
+			c.storeQ = append(c.storeQ, s)
+		}
+		if e.state == sIssued && !e.in.Op.IsAtomic() && !e.pendFill {
+			c.execQ = append(c.execQ, s)
+		}
+	}
+}
+
+// ------------------------------------------------------------- externals
+
+// FillLoad delivers data for an outstanding load miss. Stale fills (for
+// squashed entries) are ignored by tag mismatch.
+func (c *Core) FillLoad(tag uint64, val memtypes.Word) {
+	for _, s := range c.loadQ {
+		e := &c.rob[s]
+		if e.used && e.seq == tag && e.pendFill {
+			e.pendFill = false
+			e.value = val
+			e.valueOK = true
+			e.doneAt = c.now + 1
+			c.queueExec(s)
+			return
+		}
+	}
+}
+
+// SnoopBlock implements load-queue snooping (§2.1): an external
+// invalidation or ownership transfer for a block replays the oldest
+// executed-but-unretired load to that block (in-window-forwarded loads are
+// exempt: they read their own in-flight store). Returns true if a replay
+// occurred. Conventional implementations of all three models need this;
+// InvisiFence-Continuous would not (§4.2), but keeping it on is
+// conservative and covers execute-to-retire protection gaps (DESIGN.md).
+func (c *Core) SnoopBlock(block memtypes.Addr) bool {
+	for _, s := range c.loadQ {
+		e := &c.rob[s]
+		if e.used && e.valueOK && !e.fwdSQ && memtypes.BlockAddr(e.addr) == block {
+			c.Replays++
+			c.squashFrom(s)
+			return true
+		}
+	}
+	return false
+}
+
+// ------------------------------------------------------------ predictor
+
+func (c *Core) predIndex(pc int) uint32 { return uint32(pc) & c.predMask }
+
+func (c *Core) predictTaken(pc int) bool { return c.pred[c.predIndex(pc)] >= 2 }
+
+func (c *Core) updatePredictor(pc int, taken bool) {
+	i := c.predIndex(pc)
+	v := c.pred[i]
+	if taken {
+		if v < 3 {
+			c.pred[i] = v + 1
+		}
+	} else if v > 0 {
+		c.pred[i] = v - 1
+	}
+}
+
+// ------------------------------------------------------------------- ALU
+
+func evalALU(in isa.Instr, a, b memtypes.Word) memtypes.Word {
+	switch in.Op {
+	case isa.MovI:
+		return memtypes.Word(in.Imm)
+	case isa.Add:
+		return a + b
+	case isa.AddI:
+		return a + memtypes.Word(in.Imm)
+	case isa.Sub:
+		return a - b
+	case isa.Mul:
+		return a * b
+	case isa.And:
+		return a & b
+	case isa.Or:
+		return a | b
+	case isa.Xor:
+		return a ^ b
+	case isa.ShlI:
+		return a << uint(in.Imm&63)
+	case isa.ShrI:
+		return a >> uint(in.Imm&63)
+	case isa.SltU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.Seq:
+		if a == b {
+			return 1
+		}
+		return 0
+	case isa.Nop, isa.Delay:
+		return 0
+	}
+	panic(fmt.Sprintf("cpu: evalALU on %v", in.Op))
+}
+
+// AtomicApply computes an atomic op's new memory value. doWrite is false
+// for a failed compare-and-swap (treated as a read, per §3.2's load+store
+// decomposition: no written state is created).
+func AtomicApply(op isa.Op, old, opA, opB memtypes.Word) (memtypes.Word, bool) {
+	switch op {
+	case isa.Cas:
+		if old == opA {
+			return opB, true
+		}
+		return old, false
+	case isa.Fadd:
+		return old + opA, true
+	case isa.Swap:
+		return opA, true
+	}
+	panic(fmt.Sprintf("cpu: AtomicApply on %v", op))
+}

@@ -1,0 +1,324 @@
+package cpu
+
+import (
+	"testing"
+
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+)
+
+// fakeBackend is a single-cycle flat memory with no ordering constraints —
+// enough to unit-test the core pipeline in isolation.
+type fakeBackend struct {
+	mem        map[memtypes.Addr]memtypes.Word
+	now        *uint64
+	hitLatency uint64
+
+	// Controls for stall-path tests.
+	stallStores bool
+	stallReason StallReason
+	missAddrs   map[memtypes.Addr]bool // loads to these addresses go pending
+	pending     []pendingFill
+
+	retired int
+}
+
+type pendingFill struct {
+	tag  uint64
+	addr memtypes.Addr
+}
+
+func newFake(now *uint64) *fakeBackend {
+	return &fakeBackend{
+		mem:        make(map[memtypes.Addr]memtypes.Word),
+		now:        now,
+		hitLatency: 2,
+		missAddrs:  make(map[memtypes.Addr]bool),
+	}
+}
+
+func (f *fakeBackend) StartLoad(tag uint64, addr memtypes.Addr) LoadResult {
+	if f.missAddrs[memtypes.BlockAddr(addr)] {
+		f.pending = append(f.pending, pendingFill{tag, addr})
+		return LoadResult{Status: LoadMiss}
+	}
+	return LoadResult{Status: LoadHit, Value: f.mem[addr], ReadyAt: *f.now + f.hitLatency}
+}
+
+func (f *fakeBackend) RetireLoad(addr memtypes.Addr, fromL1 bool) (bool, StallReason) {
+	return true, StallNone
+}
+
+func (f *fakeBackend) RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, StallReason) {
+	if f.stallStores {
+		return false, f.stallReason
+	}
+	f.mem[addr] = val
+	return true, StallNone
+}
+
+func (f *fakeBackend) RetireAtomic(op isa.Op, addr memtypes.Addr, a, b memtypes.Word) (bool, memtypes.Word, StallReason) {
+	old := f.mem[addr]
+	if nv, doWrite := AtomicApply(op, old, a, b); doWrite {
+		f.mem[addr] = nv
+	}
+	return true, old, StallNone
+}
+
+func (f *fakeBackend) RetireFence() (bool, StallReason) { return true, StallNone }
+func (f *fakeBackend) OnRetireInstr()                   { f.retired++ }
+
+// run executes prog on a fresh core until halt or maxCycles.
+func run(t *testing.T, prog *isa.Program, setup func(*fakeBackend), maxCycles uint64) (*Core, *fakeBackend) {
+	t.Helper()
+	var now uint64
+	fb := newFake(&now)
+	if setup != nil {
+		setup(fb)
+	}
+	c := New(0, DefaultConfig(), prog, [isa.NumRegs]memtypes.Word{}, fb)
+	for now = 1; now < maxCycles && !c.Halted(); now++ {
+		c.Tick(now)
+		// Deliver one pending fill per cycle after a fixed delay.
+		if len(fb.pending) > 0 && now%17 == 0 {
+			p := fb.pending[0]
+			fb.pending = fb.pending[1:]
+			c.FillLoad(p.tag, fb.mem[p.addr])
+		}
+	}
+	if !c.Halted() {
+		t.Fatalf("program did not halt in %d cycles", maxCycles)
+	}
+	return c, fb
+}
+
+func TestALUAndBranchLoop(t *testing.T) {
+	b := isa.NewBuilder("loop")
+	b.MovI(isa.R1, 0)
+	b.MovI(isa.R2, 10)
+	b.Label("l")
+	b.AddI(isa.R1, isa.R1, 3)
+	b.AddI(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "l")
+	b.Halt()
+	c, _ := run(t, b.MustBuild(), nil, 10_000)
+	if got := c.ArchReg(isa.R1); got != 30 {
+		t.Fatalf("r1 = %d, want 30", got)
+	}
+	if c.Retired == 0 || c.RetiredLoads != 0 {
+		t.Fatalf("bad counters: %d retired", c.Retired)
+	}
+}
+
+func TestAllALUOps(t *testing.T) {
+	b := isa.NewBuilder("alu")
+	b.MovI(isa.R1, 12)
+	b.MovI(isa.R2, 5)
+	b.Add(isa.R3, isa.R1, isa.R2)   // 17
+	b.Sub(isa.R4, isa.R1, isa.R2)   // 7
+	b.Mul(isa.R5, isa.R1, isa.R2)   // 60
+	b.And(isa.R6, isa.R1, isa.R2)   // 4
+	b.Or(isa.R7, isa.R1, isa.R2)    // 13
+	b.Xor(isa.R8, isa.R1, isa.R2)   // 9
+	b.ShlI(isa.R9, isa.R1, 2)       // 48
+	b.ShrI(isa.R12, isa.R1, 2)      // 3
+	b.SltU(isa.R13, isa.R2, isa.R1) // 1
+	b.Seq(isa.R14, isa.R1, isa.R1)  // 1
+	b.Halt()
+	c, _ := run(t, b.MustBuild(), nil, 1000)
+	want := map[isa.Reg]memtypes.Word{
+		isa.R3: 17, isa.R4: 7, isa.R5: 60, isa.R6: 4, isa.R7: 13,
+		isa.R8: 9, isa.R9: 48, isa.R12: 3, isa.R13: 1, isa.R14: 1,
+	}
+	for r, v := range want {
+		if got := c.ArchReg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestStoreLoadForwardValue(t *testing.T) {
+	b := isa.NewBuilder("fwd2")
+	b.MovI(isa.R1, 0x100)
+	b.MovI(isa.R2, 42)
+	b.St(isa.R1, 0, isa.R2)
+	b.Ld(isa.R3, isa.R1, 0)
+	b.St(isa.R1, 8, isa.R3) // persist for inspection
+	b.Halt()
+	c, fb := run(t, b.MustBuild(), nil, 10_000)
+	if got := fb.mem[0x108]; got != 42 {
+		t.Fatalf("forwarded value = %d, want 42", got)
+	}
+	if got := c.ArchReg(isa.R3); got != 42 {
+		t.Fatalf("r3 = %d", got)
+	}
+}
+
+func TestLoadMissFillPath(t *testing.T) {
+	b := isa.NewBuilder("miss")
+	b.MovI(isa.R1, 0x200)
+	b.Ld(isa.R3, isa.R1, 0)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.St(isa.R1, 8, isa.R3)
+	b.Halt()
+	_, fb := run(t, b.MustBuild(), func(f *fakeBackend) {
+		f.mem[0x200] = 10
+		f.missAddrs[memtypes.BlockAddr(0x200)] = true
+	}, 10_000)
+	if got := fb.mem[0x208]; got != 11 {
+		t.Fatalf("mem = %d, want 11", got)
+	}
+}
+
+func TestAtomicProducesOldValue(t *testing.T) {
+	b := isa.NewBuilder("atomic")
+	b.MovI(isa.R1, 0x300)
+	b.MovI(isa.R2, 5)
+	b.Fadd(isa.R3, isa.R1, 0, isa.R2) // r3 = old (0), mem = 5
+	b.Fadd(isa.R4, isa.R1, 0, isa.R2) // r4 = 5, mem = 10
+	b.MovI(isa.R5, 10)
+	b.MovI(isa.R6, 77)
+	b.Cas(isa.R7, isa.R1, 0, isa.R5, isa.R6) // succeeds: r7 = 10, mem = 77
+	b.Cas(isa.R8, isa.R1, 0, isa.R5, isa.R6) // fails: r8 = 77
+	b.Swap(isa.R9, isa.R1, 0, isa.R2)        // r9 = 77, mem = 5
+	b.Halt()
+	c, fb := run(t, b.MustBuild(), nil, 10_000)
+	if c.ArchReg(isa.R3) != 0 || c.ArchReg(isa.R4) != 5 || c.ArchReg(isa.R7) != 10 ||
+		c.ArchReg(isa.R8) != 77 || c.ArchReg(isa.R9) != 77 {
+		t.Fatalf("atomic results wrong: %d %d %d %d %d",
+			c.ArchReg(isa.R3), c.ArchReg(isa.R4), c.ArchReg(isa.R7), c.ArchReg(isa.R8), c.ArchReg(isa.R9))
+	}
+	if fb.mem[0x300] != 5 {
+		t.Fatalf("final mem = %d", fb.mem[0x300])
+	}
+	if c.RetiredAtomics != 5 {
+		t.Fatalf("retired atomics = %d", c.RetiredAtomics)
+	}
+}
+
+func TestBranchMispredictRecovery(t *testing.T) {
+	// A data-dependent branch whose direction alternates: the predictor
+	// will mispredict at least once; results must still be exact.
+	b := isa.NewBuilder("flip")
+	b.MovI(isa.R1, 0)  // i
+	b.MovI(isa.R2, 20) // n
+	b.MovI(isa.R3, 0)  // evens
+	b.Label("l")
+	b.MovI(isa.R4, 1)
+	b.And(isa.R4, isa.R1, isa.R4)
+	b.Bne(isa.R4, isa.R0, "odd")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Label("odd")
+	b.AddI(isa.R1, isa.R1, 1)
+	b.Bltu(isa.R1, isa.R2, "l")
+	b.Halt()
+	c, _ := run(t, b.MustBuild(), nil, 100_000)
+	if got := c.ArchReg(isa.R3); got != 10 {
+		t.Fatalf("evens = %d, want 10", got)
+	}
+	if c.Mispredicts == 0 {
+		t.Fatal("expected at least one mispredict")
+	}
+}
+
+func TestSnoopReplayReloads(t *testing.T) {
+	// Execute a load, snoop its block before retirement, and check the
+	// replayed load observes the new value.
+	var now uint64
+	fb := newFake(&now)
+	fb.mem[0x400] = 1
+	b := isa.NewBuilder("snoop")
+	b.MovI(isa.R1, 0x400)
+	b.Delay(30) // keep the load unretired for a while after it executes
+	b.Ld(isa.R3, isa.R1, 0)
+	b.Halt()
+	c := New(0, DefaultConfig(), b.MustBuild(), [isa.NumRegs]memtypes.Word{}, fb)
+	snooped := false
+	for now = 1; now < 10_000 && !c.Halted(); now++ {
+		c.Tick(now)
+		if !snooped && now == 20 {
+			// The load has executed (value 1) but the Delay blocks its
+			// retirement. An external write arrives:
+			fb.mem[0x400] = 2
+			if !c.SnoopBlock(memtypes.BlockAddr(0x400)) {
+				t.Fatal("snoop found no load to replay")
+			}
+			snooped = true
+		}
+	}
+	if !c.Halted() {
+		t.Fatal("did not halt")
+	}
+	if got := c.ArchReg(isa.R3); got != 2 {
+		t.Fatalf("r3 = %d, want 2 (replayed value)", got)
+	}
+	if c.Replays == 0 {
+		t.Fatal("no replay counted")
+	}
+}
+
+func TestFlushAllRestoresAndUnhalts(t *testing.T) {
+	b := isa.NewBuilder("flush")
+	b.MovI(isa.R1, 1)
+	b.Halt()
+	var now uint64
+	fb := newFake(&now)
+	c := New(0, DefaultConfig(), b.MustBuild(), [isa.NumRegs]memtypes.Word{}, fb)
+	for now = 1; !c.Halted(); now++ {
+		c.Tick(now)
+	}
+	var regs [isa.NumRegs]memtypes.Word
+	regs[isa.R1] = 99
+	c.FlushAll(regs, 1) // restore at the halt instruction
+	if c.Halted() {
+		t.Fatal("FlushAll must clear halted (speculative halt rollback)")
+	}
+	if c.ArchReg(isa.R1) != 99 {
+		t.Fatal("registers not restored")
+	}
+	for ; !c.Halted(); now++ {
+		c.Tick(now)
+	}
+	if c.ArchReg(isa.R1) != 99 {
+		t.Fatal("re-execution clobbered restored register")
+	}
+}
+
+func TestStoreConflictReplay(t *testing.T) {
+	// A load issues past an older store with a then-unknown address; when
+	// the store's address resolves to the same word, the load replays.
+	b := isa.NewBuilder("conflict")
+	b.MovI(isa.R1, 0x500)
+	b.Ld(isa.R2, isa.R1, 0) // r2 = mem[0x500] (initially 7)
+	b.Mul(isa.R3, isa.R2, isa.R2)
+	b.Mul(isa.R3, isa.R3, isa.R3) // long dependency chain for the address
+	b.MovI(isa.R4, 0x500)
+	b.Add(isa.R4, isa.R4, isa.R0)
+	b.MovI(isa.R5, 50)
+	b.St(isa.R4, 0, isa.R5) // store to 0x500 (addr known late is hard to force; rely on program order)
+	b.Ld(isa.R6, isa.R4, 0) // must see 50, by forwarding or replay
+	b.St(isa.R1, 8, isa.R6)
+	b.Halt()
+	_, fb := run(t, b.MustBuild(), func(f *fakeBackend) { f.mem[0x500] = 7 }, 10_000)
+	if got := fb.mem[0x508]; got != 50 {
+		t.Fatalf("load after store = %d, want 50", got)
+	}
+}
+
+func TestROBCapacityStall(t *testing.T) {
+	// A pending load miss at the head with a long tail of ALU work: the
+	// ROB must fill and fetch must stop, then drain after the fill.
+	b := isa.NewBuilder("rob")
+	b.MovI(isa.R1, 0x600)
+	b.Ld(isa.R2, isa.R1, 0)
+	for i := 0; i < 200; i++ {
+		b.AddI(isa.R3, isa.R3, 1)
+	}
+	b.Halt()
+	c, _ := run(t, b.MustBuild(), func(f *fakeBackend) {
+		f.missAddrs[memtypes.BlockAddr(0x600)] = true
+	}, 100_000)
+	if got := c.ArchReg(isa.R3); got != 200 {
+		t.Fatalf("r3 = %d, want 200", got)
+	}
+}

@@ -1,0 +1,180 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program, resolving label references in branches.
+// Methods panic on misuse (duplicate labels, register out of range); build
+// errors for unresolved labels are reported by Build.
+type Builder struct {
+	name   string
+	instrs []Instr
+	labels map[string]int
+	fixups []fixup
+	nlabel int
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder creates a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.instrs) }
+
+// Label binds name to the next instruction's address.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q in %s", name, b.name))
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+// FreshLabel returns a unique label name with the given prefix; used by
+// macro-style helpers (locks, barriers) to avoid collisions.
+func (b *Builder) FreshLabel(prefix string) string {
+	b.nlabel++
+	return fmt.Sprintf("%s$%d", prefix, b.nlabel)
+}
+
+func (b *Builder) emit(in Instr) {
+	b.instrs = append(b.instrs, in)
+}
+
+func (b *Builder) emitBranch(in Instr, label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.instrs), label: label})
+	b.emit(in)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Instr{Op: Nop}) }
+
+// Halt emits a thread-terminating halt.
+func (b *Builder) Halt() { b.emit(Instr{Op: Halt}) }
+
+// MovI emits rd = imm.
+func (b *Builder) MovI(rd Reg, imm int64) { b.emit(Instr{Op: MovI, Rd: rd, Imm: imm}) }
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) { b.emit(Instr{Op: Add, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// AddI emits rd = rs1 + imm.
+func (b *Builder) AddI(rd, rs1 Reg, imm int64) {
+	b.emit(Instr{Op: AddI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) { b.emit(Instr{Op: Sub, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) { b.emit(Instr{Op: Mul, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) { b.emit(Instr{Op: And, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) { b.emit(Instr{Op: Or, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) { b.emit(Instr{Op: Xor, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// ShlI emits rd = rs1 << imm.
+func (b *Builder) ShlI(rd, rs1 Reg, imm int64) {
+	b.emit(Instr{Op: ShlI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// ShrI emits rd = rs1 >> imm.
+func (b *Builder) ShrI(rd, rs1 Reg, imm int64) {
+	b.emit(Instr{Op: ShrI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// SltU emits rd = rs1 < rs2.
+func (b *Builder) SltU(rd, rs1, rs2 Reg) { b.emit(Instr{Op: SltU, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Seq emits rd = rs1 == rs2.
+func (b *Builder) Seq(rd, rs1, rs2 Reg) { b.emit(Instr{Op: Seq, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Delay emits a compute bubble of the given cycle count.
+func (b *Builder) Delay(cycles int64) { b.emit(Instr{Op: Delay, Imm: cycles}) }
+
+// Ld emits rd = mem[rs1+off].
+func (b *Builder) Ld(rd, base Reg, off int64) {
+	b.emit(Instr{Op: Ld, Rd: rd, Rs1: base, Imm: off})
+}
+
+// St emits mem[rs1+off] = rs2.
+func (b *Builder) St(base Reg, off int64, src Reg) {
+	b.emit(Instr{Op: St, Rs1: base, Imm: off, Rs2: src})
+}
+
+// Cas emits rd = CAS(mem[base+off], cmp, swp).
+func (b *Builder) Cas(rd, base Reg, off int64, cmp, swp Reg) {
+	b.emit(Instr{Op: Cas, Rd: rd, Rs1: base, Imm: off, Rs2: cmp, Rs3: swp})
+}
+
+// Fadd emits rd = FetchAdd(mem[base+off], addend).
+func (b *Builder) Fadd(rd, base Reg, off int64, addend Reg) {
+	b.emit(Instr{Op: Fadd, Rd: rd, Rs1: base, Imm: off, Rs2: addend})
+}
+
+// Swap emits rd = Exchange(mem[base+off], val).
+func (b *Builder) Swap(rd, base Reg, off int64, val Reg) {
+	b.emit(Instr{Op: Swap, Rd: rd, Rs1: base, Imm: off, Rs2: val})
+}
+
+// Fence emits a full memory fence.
+func (b *Builder) Fence() { b.emit(Instr{Op: Fence}) }
+
+// Br emits an unconditional branch to label.
+func (b *Builder) Br(label string) { b.emitBranch(Instr{Op: Br}, label) }
+
+// Beq emits a branch to label if rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 Reg, label string) {
+	b.emitBranch(Instr{Op: Beq, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bne emits a branch to label if rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 Reg, label string) {
+	b.emitBranch(Instr{Op: Bne, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bltu emits a branch to label if rs1 < rs2 (unsigned).
+func (b *Builder) Bltu(rs1, rs2 Reg, label string) {
+	b.emitBranch(Instr{Op: Bltu, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bgeu emits a branch to label if rs1 >= rs2 (unsigned).
+func (b *Builder) Bgeu(rs1, rs2 Reg, label string) {
+	b.emitBranch(Instr{Op: Bgeu, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Build resolves fixups and returns the assembled program.
+func (b *Builder) Build() (*Program, error) {
+	instrs := make([]Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: unresolved label %q in %s", f.label, b.name)
+		}
+		instrs[f.pc].Target = target
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	return &Program{Name: b.name, Instrs: instrs, Labels: labels}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and static programs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,161 @@
+package isa
+
+import (
+	"fmt"
+
+	"invisifence/internal/memtypes"
+)
+
+// Interp is a reference interpreter: the architectural semantics of one
+// thread executing against a flat word-addressed memory, with no timing.
+// It defines the correct final state for single-threaded programs and for
+// multi-threaded programs whose threads touch disjoint data, and anchors
+// the randomized differential tests against the cycle-level simulator.
+type Interp struct {
+	Regs [NumRegs]memtypes.Word
+	PC   int
+	Mem  map[memtypes.Addr]memtypes.Word
+
+	prog    *Program
+	halted  bool
+	Retired uint64
+}
+
+// NewInterp creates an interpreter for prog with the given initial
+// registers, sharing (and mutating) mem.
+func NewInterp(prog *Program, regs [NumRegs]memtypes.Word, mem map[memtypes.Addr]memtypes.Word) *Interp {
+	if mem == nil {
+		mem = make(map[memtypes.Addr]memtypes.Word)
+	}
+	it := &Interp{Regs: regs, Mem: mem, prog: prog}
+	it.Regs[R0] = 0
+	return it
+}
+
+// Halted reports whether the program has executed Halt.
+func (it *Interp) Halted() bool { return it.halted }
+
+func (it *Interp) read(r Reg) memtypes.Word {
+	if r == R0 {
+		return 0
+	}
+	return it.Regs[r]
+}
+
+func (it *Interp) write(r Reg, v memtypes.Word) {
+	if r != R0 {
+		it.Regs[r] = v
+	}
+}
+
+func (it *Interp) addr(in Instr) memtypes.Addr {
+	return memtypes.WordAlign(memtypes.Addr(it.read(in.Rs1)) + memtypes.Addr(in.Imm))
+}
+
+// Step executes one instruction. It returns an error on a bad PC.
+func (it *Interp) Step() error {
+	if it.halted {
+		return nil
+	}
+	if it.PC < 0 || it.PC >= len(it.prog.Instrs) {
+		return fmt.Errorf("isa: interp pc %d out of range [0,%d)", it.PC, len(it.prog.Instrs))
+	}
+	in := it.prog.Instrs[it.PC]
+	next := it.PC + 1
+	switch in.Op {
+	case Nop, Delay:
+	case Halt:
+		it.halted = true
+	case MovI:
+		it.write(in.Rd, memtypes.Word(in.Imm))
+	case Add:
+		it.write(in.Rd, it.read(in.Rs1)+it.read(in.Rs2))
+	case AddI:
+		it.write(in.Rd, it.read(in.Rs1)+memtypes.Word(in.Imm))
+	case Sub:
+		it.write(in.Rd, it.read(in.Rs1)-it.read(in.Rs2))
+	case Mul:
+		it.write(in.Rd, it.read(in.Rs1)*it.read(in.Rs2))
+	case And:
+		it.write(in.Rd, it.read(in.Rs1)&it.read(in.Rs2))
+	case Or:
+		it.write(in.Rd, it.read(in.Rs1)|it.read(in.Rs2))
+	case Xor:
+		it.write(in.Rd, it.read(in.Rs1)^it.read(in.Rs2))
+	case ShlI:
+		it.write(in.Rd, it.read(in.Rs1)<<uint(in.Imm&63))
+	case ShrI:
+		it.write(in.Rd, it.read(in.Rs1)>>uint(in.Imm&63))
+	case SltU:
+		if it.read(in.Rs1) < it.read(in.Rs2) {
+			it.write(in.Rd, 1)
+		} else {
+			it.write(in.Rd, 0)
+		}
+	case Seq:
+		if it.read(in.Rs1) == it.read(in.Rs2) {
+			it.write(in.Rd, 1)
+		} else {
+			it.write(in.Rd, 0)
+		}
+	case Ld:
+		it.write(in.Rd, it.Mem[it.addr(in)])
+	case St:
+		it.Mem[it.addr(in)] = it.read(in.Rs2)
+	case Cas:
+		a := it.addr(in)
+		old := it.Mem[a]
+		if old == it.read(in.Rs2) {
+			it.Mem[a] = it.read(in.Rs3)
+		}
+		it.write(in.Rd, old)
+	case Fadd:
+		a := it.addr(in)
+		old := it.Mem[a]
+		it.Mem[a] = old + it.read(in.Rs2)
+		it.write(in.Rd, old)
+	case Swap:
+		a := it.addr(in)
+		old := it.Mem[a]
+		it.Mem[a] = it.read(in.Rs2)
+		it.write(in.Rd, old)
+	case Fence:
+		// Architecturally a no-op for a single thread.
+	case Br:
+		next = in.Target
+	case Beq:
+		if it.read(in.Rs1) == it.read(in.Rs2) {
+			next = in.Target
+		}
+	case Bne:
+		if it.read(in.Rs1) != it.read(in.Rs2) {
+			next = in.Target
+		}
+	case Bltu:
+		if it.read(in.Rs1) < it.read(in.Rs2) {
+			next = in.Target
+		}
+	case Bgeu:
+		if it.read(in.Rs1) >= it.read(in.Rs2) {
+			next = in.Target
+		}
+	default:
+		return fmt.Errorf("isa: interp cannot execute %v", in.Op)
+	}
+	it.PC = next
+	it.Retired++
+	return nil
+}
+
+// Run executes until Halt or maxSteps, returning an error on bad programs.
+func (it *Interp) Run(maxSteps uint64) error {
+	for !it.halted {
+		if it.Retired >= maxSteps {
+			return fmt.Errorf("isa: interp exceeded %d steps (infinite loop?)", maxSteps)
+		}
+		if err := it.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

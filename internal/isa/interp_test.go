@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"testing"
+
+	"invisifence/internal/memtypes"
+)
+
+func TestInterpArithmeticAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovI(R1, 0)
+	b.MovI(R2, 1)
+	b.MovI(R3, 11)
+	b.Label("l")
+	b.Add(R1, R1, R2)
+	b.AddI(R2, R2, 1)
+	b.Bltu(R2, R3, "l")
+	b.Halt()
+	it := NewInterp(b.MustBuild(), [NumRegs]memtypes.Word{}, nil)
+	if err := it.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R1] != 55 {
+		t.Fatalf("sum = %d", it.Regs[R1])
+	}
+	if !it.Halted() {
+		t.Fatal("not halted")
+	}
+}
+
+func TestInterpMemoryAndAtomics(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovI(R1, 0x100)
+	b.MovI(R2, 5)
+	b.St(R1, 0, R2)
+	b.Ld(R3, R1, 0)          // 5
+	b.Fadd(R4, R1, 0, R2)    // old 5, mem 10
+	b.Swap(R5, R1, 0, R3)    // old 10, mem 5
+	b.Cas(R6, R1, 0, R2, R4) // old 5 == 5: mem = 5(R4=5)... R4 holds 5
+	b.Halt()
+	it := NewInterp(b.MustBuild(), [NumRegs]memtypes.Word{}, nil)
+	if err := it.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R3] != 5 || it.Regs[R4] != 5 || it.Regs[R5] != 10 || it.Regs[R6] != 5 {
+		t.Fatalf("regs: %d %d %d %d", it.Regs[R3], it.Regs[R4], it.Regs[R5], it.Regs[R6])
+	}
+}
+
+func TestInterpR0Immutable(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovI(R0, 99)
+	b.AddI(R1, R0, 1)
+	b.Halt()
+	it := NewInterp(b.MustBuild(), [NumRegs]memtypes.Word{}, nil)
+	if err := it.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R0] != 0 || it.Regs[R1] != 1 {
+		t.Fatal("R0 must stay zero")
+	}
+}
+
+func TestInterpInfiniteLoopDetected(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("l")
+	b.Br("l")
+	b.Halt()
+	it := NewInterp(b.MustBuild(), [NumRegs]memtypes.Word{}, nil)
+	if err := it.Run(1000); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestInterpMatchesBuilderPrograms(t *testing.T) {
+	// The sync-library emitters must be executable (single-threaded:
+	// the lock is free, the barrier has one participant).
+	b := NewBuilder("t")
+	b.MovI(R20, 0x1000)
+	b.SpinLock(R20, 0, R10, R11, RMOFences)
+	b.SpinUnlock(R20, 0, RMOFences)
+	b.Barrier(R20, 64, R28, R10, R11, 1, RMOFences)
+	b.Halt()
+	it := NewInterp(b.MustBuild(), [NumRegs]memtypes.Word{}, nil)
+	if err := it.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if it.Mem[0x1000] != 0 {
+		t.Fatal("lock left held")
+	}
+}

@@ -1,0 +1,409 @@
+// Package litmus runs classic memory-model litmus tests (store buffering /
+// Dekker, message passing, load buffering, IRIW, coherence) against every
+// consistency implementation in the simulator — conventional SC/TSO/RMO and
+// all InvisiFence/ASO variants.
+//
+// This is the correctness heart of the reproduction: the paper's claim is
+// that post-retirement speculation is *invisible* — outcomes forbidden by
+// the target model must never appear, no matter how deep the speculation,
+// how many rollbacks occur, or how requests interleave. The runner explores
+// interleavings by sweeping seeds over network jitter and per-thread start
+// skew.
+package litmus
+
+import (
+	"fmt"
+
+	"invisifence/internal/cache"
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/cpu"
+	"invisifence/internal/isa"
+	"invisifence/internal/memctrl"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+	"invisifence/internal/node"
+	"invisifence/internal/sim"
+)
+
+// Outcome is the observed result-register values of one run, indexed by
+// result slot.
+type Outcome [4]memtypes.Word
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	return fmt.Sprintf("[%d %d %d %d]", o[0], o[1], o[2], o[3])
+}
+
+// Test is one litmus test: thread bodies plus the predicate for outcomes
+// the target model forbids.
+type Test struct {
+	Name    string
+	Threads int
+	// Build emits thread t's body. vars is the base register for the
+	// shared variable area; results is the base register for the outcome
+	// area (thread t writes its observations to fixed slots).
+	Build func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy)
+	// Slots is how many outcome words the test defines.
+	Slots int
+	// Forbidden reports whether the outcome violates the model. fenced
+	// says the program was built with the RMO fence policy (under SC/TSO
+	// programs are unfenced but the model itself forbids the reordering).
+	Forbidden func(o Outcome, model consistency.Model, fenced bool) bool
+	// Interesting reports the relaxed outcome whose appearance we track
+	// (e.g., both-zero under TSO store buffering).
+	Interesting func(o Outcome) bool
+}
+
+const (
+	varsAddr    = memtypes.Addr(0x10000)
+	resultsAddr = memtypes.Addr(0x20000)
+	// Shared variables live one per block to avoid false sharing.
+	varStride = memtypes.BlockBytes
+)
+
+// varOff returns the byte offset of shared variable i.
+func varOff(i int) int64 { return int64(i) * varStride }
+
+// resOff returns the byte offset of result slot i (one per block: each
+// thread writes its own).
+func resOff(i int) int64 { return int64(i) * varStride }
+
+// Tests is the suite.
+var Tests = []Test{
+	{
+		// Store buffering (Dekker): both threads store then load the
+		// other's flag. r0 == r1 == 0 is forbidden under SC, allowed
+		// under TSO and RMO.
+		Name:    "SB",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			mine, theirs := varOff(t), varOff(1-t)
+			b.MovI(isa.R6, 1)
+			b.St(vars, mine, isa.R6)
+			b.Ld(isa.R7, vars, theirs)
+			b.St(results, resOff(t), isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m != consistency.SC {
+				return false
+			}
+			return o[0] == 0 && o[1] == 0
+		},
+		Interesting: func(o Outcome) bool { return o[0] == 0 && o[1] == 0 },
+	},
+	{
+		// Message passing: T0 writes data then flag; T1 reads flag then
+		// data. Seeing the flag but stale data is forbidden under SC and
+		// TSO, and under RMO when fences are emitted.
+		Name:    "MP",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			data, flag := varOff(0), varOff(1)
+			if t == 0 {
+				b.MovI(isa.R6, 1)
+				b.St(vars, data, isa.R6)
+				if fp.Release {
+					b.Fence()
+				}
+				b.St(vars, flag, isa.R6)
+				return
+			}
+			b.Ld(isa.R7, vars, flag)
+			if fp.Acquire {
+				b.Fence()
+			}
+			b.Ld(isa.R8, vars, data)
+			b.St(results, resOff(0), isa.R7)
+			b.St(results, resOff(1), isa.R8)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 0
+		},
+		Interesting: func(o Outcome) bool { return o[0] == 1 && o[1] == 0 },
+	},
+	{
+		// Load buffering: r0 == r1 == 1 requires stores to become visible
+		// before older loads bind, impossible with in-order retirement in
+		// any of these implementations (and forbidden by SC/TSO).
+		Name:    "LB",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			mine, theirs := varOff(t), varOff(1-t)
+			b.Ld(isa.R7, vars, theirs)
+			b.MovI(isa.R6, 1)
+			b.St(vars, mine, isa.R6)
+			b.St(results, resOff(t), isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			return o[0] == 1 && o[1] == 1
+		},
+	},
+	{
+		// IRIW: two writers, two readers observing opposite orders.
+		// Forbidden under SC and TSO (store atomicity + load ordering),
+		// and under RMO with fences between the reader loads.
+		Name:    "IRIW",
+		Threads: 4,
+		Slots:   4,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y := varOff(0), varOff(1)
+			switch t {
+			case 0:
+				b.MovI(isa.R6, 1)
+				b.St(vars, x, isa.R6)
+			case 1:
+				b.MovI(isa.R6, 1)
+				b.St(vars, y, isa.R6)
+			case 2:
+				b.Ld(isa.R7, vars, x)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.Ld(isa.R8, vars, y)
+				b.St(results, resOff(0), isa.R7)
+				b.St(results, resOff(1), isa.R8)
+			case 3:
+				b.Ld(isa.R7, vars, y)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.Ld(isa.R8, vars, x)
+				b.St(results, resOff(2), isa.R7)
+				b.St(results, resOff(3), isa.R8)
+			}
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 0 && o[2] == 1 && o[3] == 0
+		},
+	},
+	{
+		// SB+F: Dekker with explicit full fences between each thread's
+		// store and load. Forbidden under every model — this is the
+		// paper's core fence semantics, and under InvisiFence the fence
+		// retires *speculatively* (§3.2) yet must still be enforced by
+		// the atomic commit of the speculation.
+		Name:    "SB+F",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			mine, theirs := varOff(t), varOff(1-t)
+			b.MovI(isa.R6, 1)
+			b.St(vars, mine, isa.R6)
+			b.Fence()
+			b.Ld(isa.R7, vars, theirs)
+			b.St(results, resOff(t), isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			return o[0] == 0 && o[1] == 0
+		},
+	},
+	{
+		// WRC: write-to-read causality. T1 observes T0's write and then
+		// writes a flag; T2 observing the flag must also see T0's write.
+		// Forbidden under SC/TSO, and under RMO with fences.
+		Name:    "WRC",
+		Threads: 3,
+		Slots:   3,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y := varOff(0), varOff(1)
+			switch t {
+			case 0:
+				b.MovI(isa.R6, 1)
+				b.St(vars, x, isa.R6)
+			case 1:
+				b.Ld(isa.R7, vars, x)
+				if fp.Release {
+					b.Fence()
+				}
+				b.St(vars, y, isa.R7) // forwards the observed value
+				b.St(results, resOff(0), isa.R7)
+			case 2:
+				b.Ld(isa.R8, vars, y)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.Ld(isa.R9, vars, x)
+				b.St(results, resOff(1), isa.R8)
+				b.St(results, resOff(2), isa.R9)
+			}
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 1 && o[2] == 0
+		},
+	},
+	{
+		// CoRR: per-location coherence. A reader must never observe a
+		// location's writes going backwards (1 then 0), under any model.
+		Name:    "CoRR",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x := varOff(0)
+			if t == 0 {
+				b.MovI(isa.R6, 1)
+				b.St(vars, x, isa.R6)
+				return
+			}
+			b.Ld(isa.R7, vars, x)
+			b.Ld(isa.R8, vars, x)
+			b.St(results, resOff(0), isa.R7)
+			b.St(results, resOff(1), isa.R8)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			return o[0] == 1 && o[1] == 0
+		},
+	},
+	{
+		// Atomicity: both threads fetch-add the same word once; the sum
+		// must be exactly 2 (lost RMW updates are forbidden everywhere).
+		Name:    "RMW",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x := varOff(0)
+			b.MovI(isa.R6, 1)
+			b.Fadd(isa.R7, vars, x, isa.R6)
+			b.St(results, resOff(t), isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			// Old values observed must be {0, 1} in some order.
+			return !((o[0] == 0 && o[1] == 1) || (o[0] == 1 && o[1] == 0))
+		},
+	},
+}
+
+// ConfigSpec names one consistency implementation under test.
+type ConfigSpec struct {
+	Name   string
+	Model  consistency.Model
+	Engine ifcore.Config
+}
+
+// AllConfigs returns every implementation the suite validates.
+func AllConfigs() []ConfigSpec {
+	return []ConfigSpec{
+		{"sc", consistency.SC, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.SC}},
+		{"tso", consistency.TSO, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.TSO}},
+		{"rmo", consistency.RMO, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.RMO}},
+		{"invisi-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
+		{"invisi-tso", consistency.TSO, ifcore.DefaultSelective(consistency.TSO)},
+		{"invisi-rmo", consistency.RMO, ifcore.DefaultSelective(consistency.RMO)},
+		{"invisi-sc-2ckpt", consistency.SC, func() ifcore.Config {
+			c := ifcore.DefaultSelective(consistency.SC)
+			c.MaxCheckpoints = 2
+			return c
+		}()},
+		{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
+		{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
+		{"aso", consistency.SC, ifcore.DefaultASO()},
+	}
+}
+
+// Result summarizes a sweep of one test under one configuration.
+type Result struct {
+	Test       string
+	Config     string
+	Runs       int
+	Outcomes   map[Outcome]int
+	Violations []Outcome
+	Relaxed    int // runs showing the Interesting outcome
+}
+
+// Run sweeps a test under a configuration across seeds, each seed with
+// different network jitter and thread skew.
+func Run(t Test, spec ConfigSpec, seeds int) Result {
+	res := Result{Test: t.Name, Config: spec.Name, Outcomes: make(map[Outcome]int)}
+	fenced := spec.Model == consistency.RMO
+	fp := isa.NoFences
+	if fenced {
+		fp = isa.RMOFences
+	}
+	for seed := 0; seed < seeds; seed++ {
+		o := runOnce(t, spec, fp, int64(seed))
+		res.Runs++
+		res.Outcomes[o]++
+		if t.Forbidden(o, spec.Model, fenced) {
+			res.Violations = append(res.Violations, o)
+		}
+		if t.Interesting != nil && t.Interesting(o) {
+			res.Relaxed++
+		}
+	}
+	return res
+}
+
+func runOnce(t Test, spec ConfigSpec, fp isa.FencePolicy, seed int64) Outcome {
+	nodes := 4
+	progs := make([]*isa.Program, nodes)
+	for i := 0; i < nodes; i++ {
+		b := isa.NewBuilder(fmt.Sprintf("%s-t%d", t.Name, i))
+		if i < t.Threads {
+			// Seed-dependent start skew explores interleavings.
+			skew := (seed*7 + int64(i)*13) % 40
+			if skew > 0 {
+				b.Delay(skew)
+			}
+			b.MovI(isa.R4, int64(varsAddr))
+			b.MovI(isa.R5, int64(resultsAddr))
+			t.Build(b, i, isa.R4, isa.R5, fp)
+		}
+		b.Halt()
+		progs[i] = b.MustBuild()
+	}
+	cfg := sim.Config{
+		Net: network.Config{
+			Width: 2, Height: 2,
+			HopLatency: 12, LocalLatency: 1,
+			Jitter: 8, Seed: seed,
+		},
+		Node: node.Config{
+			Model:              spec.Model,
+			Engine:             spec.Engine,
+			Core:               cpu.DefaultConfig(),
+			L1:                 cache.Config{SizeBytes: 8 << 10, Ways: 2, HitLatency: 2, Name: "L1"},
+			L2:                 cache.Config{SizeBytes: 64 << 10, Ways: 8, HitLatency: 10, Name: "L2"},
+			Memory:             memctrl.Config{AccessLatency: 50, Banks: 8, BankBusy: 4},
+			MSHRs:              16,
+			SBCapacity:         sbCapacity(spec),
+			StorePrefetchDepth: 4,
+			SnoopLQ:            true,
+			FillHoldCycles:     8,
+		},
+		MaxCycles:      500_000,
+		WatchdogCycles: 100_000,
+	}
+	s := sim.New(cfg, progs, nil)
+	r := s.Run()
+	if !r.Finished {
+		panic(fmt.Sprintf("litmus %s/%s seed %d did not finish", t.Name, spec.Name, seed))
+	}
+	var o Outcome
+	for i := 0; i < t.Slots; i++ {
+		o[i] = s.ReadWord(resultsAddr + memtypes.Addr(resOff(i)))
+	}
+	return o
+}
+
+func sbCapacity(spec ConfigSpec) int {
+	if spec.Engine.Mode == ifcore.ModeOff &&
+		consistency.RulesFor(spec.Model).SB == consistency.SBFIFOWord {
+		return 64
+	}
+	if spec.Engine.MaxCheckpoints > 1 {
+		return 32
+	}
+	return 8
+}

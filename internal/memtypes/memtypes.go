@@ -1,0 +1,70 @@
+// Package memtypes defines the basic address and data types shared by every
+// level of the simulated memory system: byte addresses, 8-byte words, and
+// 64-byte cache blocks. All memory operations in the simulator are word-sized
+// and word-aligned; cache and coherence state is kept at block granularity.
+package memtypes
+
+import "fmt"
+
+// Addr is a byte address in the simulated flat physical address space.
+type Addr uint64
+
+// Word is the unit of data transfer for loads, stores, and atomics.
+type Word uint64
+
+const (
+	// BlockShift is log2 of the cache block size in bytes.
+	BlockShift = 6
+	// BlockBytes is the cache block size (64 bytes, per Figure 6).
+	BlockBytes = 1 << BlockShift
+	// WordShift is log2 of the word size in bytes.
+	WordShift = 3
+	// WordBytes is the word size (8 bytes).
+	WordBytes = 1 << WordShift
+	// WordsPerBlock is the number of words in a cache block.
+	WordsPerBlock = BlockBytes / WordBytes
+)
+
+// BlockData holds the data payload of one cache block.
+type BlockData [WordsPerBlock]Word
+
+// BlockAddr returns the block-aligned address containing a.
+func BlockAddr(a Addr) Addr { return a &^ (BlockBytes - 1) }
+
+// WordAlign returns the word-aligned address containing a.
+func WordAlign(a Addr) Addr { return a &^ (WordBytes - 1) }
+
+// WordIndex returns the index of a's word within its block.
+func WordIndex(a Addr) int { return int(a>>WordShift) & (WordsPerBlock - 1) }
+
+// SameBlock reports whether two addresses fall in the same cache block.
+func SameBlock(a, b Addr) bool { return BlockAddr(a) == BlockAddr(b) }
+
+// AccessKind classifies a memory operation for ordering purposes.
+type AccessKind uint8
+
+const (
+	// AccessLoad is an ordinary load.
+	AccessLoad AccessKind = iota
+	// AccessStore is an ordinary store.
+	AccessStore
+	// AccessAtomic is an atomic read-modify-write (CAS, fetch-add, swap).
+	AccessAtomic
+	// AccessFence is an explicit memory ordering fence.
+	AccessFence
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessLoad:
+		return "load"
+	case AccessStore:
+		return "store"
+	case AccessAtomic:
+		return "atomic"
+	case AccessFence:
+		return "fence"
+	}
+	return fmt.Sprintf("AccessKind(%d)", uint8(k))
+}

@@ -1,0 +1,203 @@
+// Package network models the 4x4 2D torus interconnect from Figure 6 of the
+// paper. It provides point-to-point message delivery with per-hop latency,
+// FIFO ordering between each (source, destination) pair, and an optional
+// seeded jitter used by the litmus-test harness to explore interleavings.
+//
+// The model captures latency and ordering, not link contention: Figure 6's
+// 128 GB/s bisection bandwidth is far from saturated by 16 cores at the miss
+// rates these workloads exhibit (see DESIGN.md §5).
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a node (core + caches + directory slice) in the system.
+type NodeID int
+
+// Message is an in-flight interconnect message. Payload is opaque to the
+// network; the coherence protocol defines the concrete types.
+type Message struct {
+	Src, Dst NodeID
+	Payload  any
+
+	arrive uint64 // delivery cycle
+	seq    uint64 // tie-break for deterministic ordering
+}
+
+// Config describes the torus geometry and timing.
+type Config struct {
+	Width, Height int    // torus dimensions; Width*Height == number of nodes
+	HopLatency    uint64 // cycles per hop (Figure 6: 25 ns at 4 GHz = 100)
+	LocalLatency  uint64 // latency for a node messaging itself (its own home slice)
+	Jitter        uint64 // max extra random cycles per message (0 = deterministic)
+	Seed          int64  // jitter RNG seed
+}
+
+// DefaultConfig returns the Figure 6 interconnect: a 4x4 torus with
+// 25 ns (100-cycle) hop latency.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, HopLatency: 100, LocalLatency: 1}
+}
+
+// Network is the torus. It is not safe for concurrent use; the simulator is
+// single-threaded and deterministic.
+type Network struct {
+	cfg     Config
+	now     uint64
+	nextSeq uint64
+	flight  msgHeap
+	inbox   [][]*Message // per destination, delivery-ordered
+	rng     *rand.Rand
+
+	// lastArrive enforces FIFO ordering per (src,dst) pair: a later send may
+	// not arrive before an earlier one even under jitter.
+	lastArrive map[pair]uint64
+
+	// Counters for bandwidth accounting and tests.
+	Sent      uint64
+	Delivered uint64
+	TotalHops uint64
+}
+
+type pair struct{ src, dst NodeID }
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("network: bad dimensions %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 1
+	}
+	if cfg.LocalLatency == 0 {
+		cfg.LocalLatency = 1
+	}
+	n := &Network{
+		cfg:        cfg,
+		inbox:      make([][]*Message, cfg.Width*cfg.Height),
+		lastArrive: make(map[pair]uint64),
+	}
+	if cfg.Jitter > 0 {
+		n.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return n
+}
+
+// Nodes returns the number of nodes in the torus.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Hops returns the dimension-order routed hop count between two nodes on the
+// torus (minimum of the two directions in each dimension).
+func (n *Network) Hops(a, b NodeID) int {
+	ax, ay := int(a)%n.cfg.Width, int(a)/n.cfg.Width
+	bx, by := int(b)%n.cfg.Width, int(b)/n.cfg.Width
+	dx := absDiff(ax, bx)
+	if w := n.cfg.Width - dx; w < dx {
+		dx = w
+	}
+	dy := absDiff(ay, by)
+	if h := n.cfg.Height - dy; h < dy {
+		dy = h
+	}
+	return dx + dy
+}
+
+func absDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Latency returns the base delivery latency from a to b, before jitter.
+func (n *Network) Latency(a, b NodeID) uint64 {
+	h := n.Hops(a, b)
+	if h == 0 {
+		return n.cfg.LocalLatency
+	}
+	return uint64(h) * n.cfg.HopLatency
+}
+
+// Send enqueues a message for delivery. It may be called at any point within
+// a cycle; delivery happens at a strictly later cycle.
+func (n *Network) Send(src, dst NodeID, payload any) {
+	if int(dst) < 0 || int(dst) >= n.Nodes() {
+		panic(fmt.Sprintf("network: send to invalid node %d", dst))
+	}
+	lat := n.Latency(src, dst)
+	if n.rng != nil && n.cfg.Jitter > 0 {
+		lat += uint64(n.rng.Int63n(int64(n.cfg.Jitter) + 1))
+	}
+	arrive := n.now + lat
+	if arrive <= n.now {
+		arrive = n.now + 1
+	}
+	p := pair{src, dst}
+	if last, ok := n.lastArrive[p]; ok && arrive <= last {
+		arrive = last + 1 // preserve per-pair FIFO ordering
+	}
+	n.lastArrive[p] = arrive
+	m := &Message{Src: src, Dst: dst, Payload: payload, arrive: arrive, seq: n.nextSeq}
+	n.nextSeq++
+	heap.Push(&n.flight, m)
+	n.Sent++
+	n.TotalHops += uint64(n.Hops(src, dst))
+}
+
+// Tick advances the network to the given cycle, moving every message whose
+// delivery time has been reached into its destination inbox.
+func (n *Network) Tick(now uint64) {
+	n.now = now
+	for n.flight.Len() > 0 && n.flight[0].arrive <= now {
+		m := heap.Pop(&n.flight).(*Message)
+		n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
+		n.Delivered++
+	}
+}
+
+// Recv pops the oldest delivered message for dst, if any. Node controllers
+// call this repeatedly, bounded by their own per-cycle service rate.
+func (n *Network) Recv(dst NodeID) (*Message, bool) {
+	q := n.inbox[dst]
+	if len(q) == 0 {
+		return nil, false
+	}
+	m := q[0]
+	copy(q, q[1:])
+	n.inbox[dst] = q[:len(q)-1]
+	return m, true
+}
+
+// Pending reports the number of undelivered plus delivered-but-unconsumed
+// messages; the simulator uses it for quiescence detection.
+func (n *Network) Pending() int {
+	total := n.flight.Len()
+	for _, q := range n.inbox {
+		total += len(q)
+	}
+	return total
+}
+
+// msgHeap is a min-heap on (arrive, seq).
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].arrive != h[j].arrive {
+		return h[i].arrive < h[j].arrive
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}

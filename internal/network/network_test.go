@@ -1,0 +1,177 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	return New(cfg)
+}
+
+func TestHopsTorus4x4(t *testing.T) {
+	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10})
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wraparound in x
+		{0, 12, 1}, // wraparound in y
+		{0, 5, 2},
+		{0, 15, 2}, // diagonal wrap
+		{0, 10, 4}, // farthest point on a 4x4 torus
+		{5, 10, 2}, // (1,1)->(2,2)
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10})
+	f := func(a, b uint8) bool {
+		x, y := NodeID(a%16), NodeID(b%16)
+		return n.Hops(x, y) == n.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10})
+	f := func(a, b, c uint8) bool {
+		x, y, z := NodeID(a%16), NodeID(b%16), NodeID(c%16)
+		return n.Hops(x, z) <= n.Hops(x, y)+n.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10, LocalLatency: 1})
+	n.Tick(100)
+	n.Send(0, 5, "x") // 2 hops = 20 cycles
+	for now := uint64(101); now < 120; now++ {
+		n.Tick(now)
+		if _, ok := n.Recv(5); ok {
+			t.Fatalf("delivered early at %d", now)
+		}
+	}
+	n.Tick(120)
+	m, ok := n.Recv(5)
+	if !ok {
+		t.Fatal("not delivered at latency")
+	}
+	if m.Payload.(string) != "x" || m.Src != 0 {
+		t.Fatalf("bad message %+v", m)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	n := mk(t, Config{Width: 2, Height: 2, HopLatency: 10, LocalLatency: 1})
+	n.Tick(10)
+	n.Send(3, 3, 42)
+	n.Tick(11)
+	if _, ok := n.Recv(3); !ok {
+		t.Fatal("local message not delivered after LocalLatency")
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	// Even with jitter, two messages on the same (src,dst) pair must be
+	// delivered in send order.
+	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 5, Jitter: 20, Seed: 99})
+	n.Tick(1)
+	for i := 0; i < 50; i++ {
+		n.Send(1, 2, i)
+	}
+	got := make([]int, 0, 50)
+	for now := uint64(2); now < 500 && len(got) < 50; now++ {
+		n.Tick(now)
+		for {
+			m, ok := n.Recv(2)
+			if !ok {
+				break
+			}
+			got = append(got, m.Payload.(int))
+		}
+	}
+	if len(got) != 50 {
+		t.Fatalf("delivered %d of 50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		n := mk(t, Config{Width: 4, Height: 4, HopLatency: 7, Jitter: 9, Seed: 4})
+		n.Tick(1)
+		for i := 0; i < 30; i++ {
+			n.Send(NodeID(i%3), NodeID(12+i%4), i)
+		}
+		var order []int
+		for now := uint64(2); now < 300; now++ {
+			n.Tick(now)
+			for d := 0; d < n.Nodes(); d++ {
+				for {
+					m, ok := n.Recv(NodeID(d))
+					if !ok {
+						break
+					}
+					order = append(order, m.Payload.(int))
+				}
+			}
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 30 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery at %d", i)
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	n := mk(t, Config{Width: 2, Height: 2, HopLatency: 10})
+	n.Tick(1)
+	if n.Pending() != 0 {
+		t.Fatal("pending on empty network")
+	}
+	n.Send(0, 1, "a")
+	if n.Pending() != 1 {
+		t.Fatal("in-flight not pending")
+	}
+	n.Tick(11)
+	if n.Pending() != 1 {
+		t.Fatal("delivered-unconsumed not pending")
+	}
+	n.Recv(1)
+	if n.Pending() != 0 {
+		t.Fatal("consumed still pending")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10})
+	n.Tick(1)
+	n.Send(0, 5, "a") // 2 hops
+	n.Send(0, 1, "b") // 1 hop
+	if n.Sent != 2 || n.TotalHops != 3 {
+		t.Fatalf("sent=%d hops=%d", n.Sent, n.TotalHops)
+	}
+}

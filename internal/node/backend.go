@@ -1,0 +1,394 @@
+package node
+
+import (
+	"invisifence/internal/cache"
+	"invisifence/internal/coherence"
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/cpu"
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/storebuffer"
+)
+
+// debugInertEngine disables speculation triggers (diagnostic bisect knob).
+var DebugInertEngine = false
+
+// ---------------------------------------------------------------------
+// cpu.Backend: the load path.
+// ---------------------------------------------------------------------
+
+// StartLoad implements cpu.Backend. Value priority: post-retirement store
+// buffer forwarding, then L1, then an outstanding-miss fill.
+func (n *Node) StartLoad(tag uint64, addr memtypes.Addr) cpu.LoadResult {
+	if n.fifoSB != nil {
+		if v, ok := n.fifoSB.Forward(addr); ok {
+			return cpu.LoadResult{Status: cpu.LoadForwarded, Value: v, ReadyAt: n.now + 1}
+		}
+	} else if v, ok := n.coalSB.Forward(addr); ok {
+		return cpu.LoadResult{Status: cpu.LoadForwarded, Value: v, ReadyAt: n.now + 1}
+	}
+	block := memtypes.BlockAddr(addr)
+	if line := n.l1.Lookup(addr); line != nil {
+		n.markExecRead(line) // continuous mode marks at execution (§4.2)
+		return cpu.LoadResult{
+			Status:  cpu.LoadHit,
+			Value:   line.Data[memtypes.WordIndex(addr)],
+			ReadyAt: n.now + n.l1.HitLatency(),
+		}
+	}
+	if m, ok := n.mshrs[block]; ok {
+		m.waiters = append(m.waiters, loadWaiter{tag: tag, addr: addr})
+		return cpu.LoadResult{Status: cpu.LoadMiss}
+	}
+	if !n.requestBlock(block, false) {
+		return cpu.LoadResult{Status: cpu.LoadRetry}
+	}
+	n.mshrs[block].waiters = append(n.mshrs[block].waiters, loadWaiter{tag: tag, addr: addr})
+	return cpu.LoadResult{Status: cpu.LoadMiss}
+}
+
+// ---------------------------------------------------------------------
+// cpu.Backend: retirement policy (Figure 2 rules, Figure 4 triggers).
+// ---------------------------------------------------------------------
+
+// RetireLoad implements cpu.Backend.
+func (n *Node) RetireLoad(addr memtypes.Addr, fromL1 bool) (bool, cpu.StallReason) {
+	if n.engine.Speculating() {
+		return n.retireSpecLoad(addr, fromL1)
+	}
+	rules := consistency.RulesFor(n.cfg.Model)
+	if rules.LoadNeedsDrain && !n.sbEmpty() {
+		// SC: a load may not retire past outstanding stores...
+		if n.canTriggerSpeculation() {
+			// ...unless InvisiFence speculates instead (§4.1).
+			n.engine.Begin()
+			return n.retireSpecLoad(addr, fromL1)
+		}
+		return false, cpu.StallSBDrain
+	}
+	return true, cpu.StallNone
+}
+
+// retireSpecLoad retires a load inside a speculation, marking the
+// speculatively-read bit at retirement (selective/ASO; continuous marked at
+// execution). Store-buffer-forwarded values need no bit: they are the
+// core's own not-yet-visible stores, protected by the written state.
+func (n *Node) retireSpecLoad(addr memtypes.Addr, fromL1 bool) (bool, cpu.StallReason) {
+	if !fromL1 {
+		return true, cpu.StallNone
+	}
+	line := n.l1.Peek(addr)
+	if line == nil {
+		// The line left the L1 between execution and retirement (racing
+		// same-cycle eviction). Replay the load rather than retire a value
+		// that is no longer protected.
+		n.core.SnoopBlock(memtypes.BlockAddr(addr))
+		return false, cpu.StallOther
+	}
+	// Selective/ASO mark at retirement (§4.1). Continuous marks at
+	// execution (§4.2), but marking again here closes the gap for loads
+	// that executed in the brief non-speculative window after an abort and
+	// retire inside the next chunk.
+	if y := n.engine.YoungestEpoch(); y >= 0 {
+		line.SpecRead[y] = true
+	}
+	return true, cpu.StallNone
+}
+
+// canTriggerSpeculation reports whether a selective-mode speculation may
+// begin now (also covers the ASO baseline).
+func (n *Node) canTriggerSpeculation() bool {
+	if DebugInertEngine {
+		return false
+	}
+	m := n.engine.Config().Mode
+	if m != ifcore.ModeSelective && m != ifcore.ModeASO {
+		return false
+	}
+	return n.engine.CanBegin()
+}
+
+// RetireStore implements cpu.Backend.
+func (n *Node) RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.StallReason) {
+	if n.fifoSB != nil {
+		// Conventional SC/TSO: word-granularity FIFO.
+		if !n.fifoSB.Push(addr, val) {
+			return false, cpu.StallSBFull
+		}
+		return true, cpu.StallNone
+	}
+	if n.engine.Speculating() {
+		return n.retireSpecStore(addr, val)
+	}
+	// Not speculating, coalescing buffer. Under SC/TSO an unordered buffer
+	// may not hold reordered stores: a store retiring with a non-empty
+	// buffer triggers speculation (Figure 4's "store/atomic reorderings").
+	switch n.cfg.Model {
+	case consistency.SC, consistency.TSO:
+		if !n.sbEmpty() {
+			if n.canTriggerSpeculation() {
+				n.engine.Begin()
+				return n.retireSpecStore(addr, val)
+			}
+			// Forward-progress grace window: wait for the drain.
+			return false, cpu.StallSBDrain
+		}
+	}
+	return n.retireNonSpecStore(addr, val)
+}
+
+// retireNonSpecStore is the baseline RMO path: store hits retire directly
+// into the L1; misses coalesce in the store buffer.
+//
+// A store may only bypass the buffer if the buffer holds nothing for its
+// block: buffered entries drain in age order, and a direct write jumping
+// ahead of a buffered older store would later be overwritten by it.
+func (n *Node) retireNonSpecStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.StallReason) {
+	coherence.TraceEvent(n.now, addr, "node%d retireNonSpecStore val=%d", n.id, val)
+	block := memtypes.BlockAddr(addr)
+	line := n.l1.Peek(addr)
+	if line != nil && line.State.Writable() && !n.sbHasBlock(block) {
+		if _, cleaning := n.cleanings[block]; !cleaning {
+			line.Data[memtypes.WordIndex(addr)] = val
+			line.State = cache.Modified
+			return true, cpu.StallNone
+		}
+	}
+	if !n.coalSB.Store(addr, val, storebuffer.NonSpecEpoch) {
+		return false, cpu.StallSBFull
+	}
+	n.requestBlock(block, true)
+	return true, cpu.StallNone
+}
+
+// sbHasBlock reports whether the coalescing buffer holds any entry (of any
+// epoch class) for the block.
+func (n *Node) sbHasBlock(block memtypes.Addr) bool {
+	return len(n.coalSB.EntriesForBlock(block)) > 0
+}
+
+// retireSpecStore is the §3.2 speculative store path.
+func (n *Node) retireSpecStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.StallReason) {
+	y := n.engine.YoungestEpoch()
+	block := memtypes.BlockAddr(addr)
+	line := n.l1.Peek(addr)
+	_, cleaning := n.cleanings[block]
+
+	coherence.TraceEvent(n.now, addr, "node%d retireSpecStore val=%d epoch=%d", n.id, val, y)
+	direct := false
+	if line != nil && line.State.Writable() && !cleaning && !n.sbHasBlock(block) {
+		// (The buffer must hold nothing for this block: a direct write
+		// jumping ahead of a buffered older-epoch store would later be
+		// overwritten when that entry drains.)
+		if line.State == cache.Modified && !line.SpecWrittenAny() {
+			// Non-speculatively dirty: the pre-speculative value must
+			// survive abort. Clean-writeback in the background; the store
+			// waits in the buffer meanwhile (§3.2).
+			n.startCleaning(block)
+		} else if n.heldByOlderEpoch(line, y) {
+			// Written by an older in-flight checkpoint: hold in the buffer
+			// until that checkpoint commits (§3.1).
+		} else {
+			direct = true
+		}
+	}
+	if direct {
+		if !n.engine.OnSpecStore() {
+			return false, cpu.StallSBFull // ASO SSB full
+		}
+		line.Data[memtypes.WordIndex(addr)] = val
+		line.State = cache.Modified
+		line.SpecWritten[y] = true
+		return true, cpu.StallNone
+	}
+	if !n.engine.OnSpecStore() {
+		return false, cpu.StallSBFull
+	}
+	if !n.coalSB.Store(addr, val, y) {
+		return false, cpu.StallSBFull
+	}
+	if line == nil || !line.State.Writable() {
+		n.requestBlock(block, true)
+	}
+	return true, cpu.StallNone
+}
+
+// heldByOlderEpoch reports whether an older active checkpoint wrote this
+// line.
+func (n *Node) heldByOlderEpoch(line *cache.Line, y int) bool {
+	for _, e := range n.engine.ActiveEpochs() {
+		if e == y {
+			return false
+		}
+		if line.SpecWritten[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// RetireAtomic implements cpu.Backend: the conventional Figure 2 rules or
+// the §3.2 load+store decomposition under speculation.
+func (n *Node) RetireAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes.Word) (bool, memtypes.Word, cpu.StallReason) {
+	if n.engine.Speculating() {
+		return n.retireSpecAtomic(op, addr, opA, opB)
+	}
+	rules := consistency.RulesFor(n.cfg.Model)
+	if rules.AtomicNeedsDrain && !n.sbEmpty() {
+		// SC/TSO: drain before the atomic -- or speculate (Figure 4).
+		if n.canTriggerSpeculation() {
+			n.engine.Begin()
+			return n.retireSpecAtomic(op, addr, opA, opB)
+		}
+		return false, 0, cpu.StallSBDrain
+	}
+	line := n.l1.Peek(addr)
+	if line == nil {
+		n.requestBlock(memtypes.BlockAddr(addr), true)
+		return false, 0, cpu.StallOther // data miss
+	}
+	if !line.State.Writable() {
+		// Ownership wait ("complete store", Figure 2). Under RMO this is
+		// the Figure 4 atomic trigger.
+		if n.cfg.Model == consistency.RMO && n.canTriggerSpeculation() {
+			n.engine.Begin()
+			return n.retireSpecAtomic(op, addr, opA, opB)
+		}
+		n.requestBlock(memtypes.BlockAddr(addr), true)
+		return false, 0, cpu.StallSBDrain // atomic-induced ordering stall (Fig. 1)
+	}
+	if _, cleaning := n.cleanings[memtypes.BlockAddr(addr)]; cleaning {
+		return false, 0, cpu.StallOther
+	}
+	if n.coalSB != nil && n.sbHasBlock(memtypes.BlockAddr(addr)) {
+		// A buffered store to this block must drain first (RMO permits a
+		// non-empty buffer at atomics); the direct RMW may not jump ahead
+		// of it in the block's age order.
+		return false, 0, cpu.StallSBDrain
+	}
+	wi := memtypes.WordIndex(addr)
+	old := line.Data[wi]
+	if nv, doWrite := cpu.AtomicApply(op, old, opA, opB); doWrite {
+		line.Data[wi] = nv
+		line.State = cache.Modified
+	}
+	return true, old, cpu.StallNone
+}
+
+// retireSpecAtomic treats the atomic as a load+store pair contained in one
+// speculation (§3.2).
+func (n *Node) retireSpecAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes.Word) (bool, memtypes.Word, cpu.StallReason) {
+	y := n.engine.YoungestEpoch()
+	// Load half. Unlike a plain load, an atomic's read must stay adjacent
+	// to its paired write in the global order, so it must always pin a
+	// readable L1 copy with the speculatively-read bit — even when the
+	// value itself forwards from the store buffer. Without the bit, a
+	// remote write arriving between a buffered own-store and commit would
+	// go undetected and break read-modify-write atomicity.
+	line := n.l1.Peek(addr)
+	if line == nil {
+		n.requestBlock(memtypes.BlockAddr(addr), true)
+		return false, 0, cpu.StallOther // need the data itself
+	}
+	var old memtypes.Word
+	if v, ok := n.coalSB.Forward(addr); ok {
+		old = v
+	} else {
+		old = line.Data[memtypes.WordIndex(addr)]
+	}
+	line.SpecRead[y] = true
+	nv, doWrite := cpu.AtomicApply(op, old, opA, opB)
+	if !doWrite {
+		return true, old, cpu.StallNone // failed CAS: read-only
+	}
+	ok, why := n.retireSpecStore(addr, nv)
+	if !ok {
+		return false, 0, why
+	}
+	return true, old, cpu.StallNone
+}
+
+// RetireFence implements cpu.Backend: fences retire freely inside a
+// speculation (§3.2); conventionally they drain the store buffer.
+func (n *Node) RetireFence() (bool, cpu.StallReason) {
+	if n.engine.Speculating() {
+		return true, cpu.StallNone
+	}
+	if n.sbEmpty() {
+		return true, cpu.StallNone
+	}
+	if n.canTriggerSpeculation() {
+		n.engine.Begin()
+		return true, cpu.StallNone
+	}
+	return false, cpu.StallSBDrain
+}
+
+// OnRetireInstr implements cpu.Backend.
+func (n *Node) OnRetireInstr() {
+	n.st.Retired++
+	n.engine.OnRetireInstr()
+}
+
+// ---------------------------------------------------------------------
+// core.Host: machine-state primitives for the engine.
+// ---------------------------------------------------------------------
+
+// CaptureCheckpoint implements core.Host.
+func (n *Node) CaptureCheckpoint() ([isa.NumRegs]memtypes.Word, int) {
+	var regs [isa.NumRegs]memtypes.Word
+	for r := 0; r < isa.NumRegs; r++ {
+		regs[r] = n.core.ArchReg(isa.Reg(r))
+	}
+	coherence.TraceAlways(n.now, "node%d CHECKPOINT pc=%d r2=%d", n.id, n.core.ArchPC(), regs[2])
+	return regs, n.core.ArchPC()
+}
+
+// RestoreCheckpoint implements core.Host (the abort path's pipeline flush
+// and register restore).
+func (n *Node) restoreTrace(regs [isa.NumRegs]memtypes.Word, pc int) {
+	coherence.TraceAlways(n.now, "node%d RESTORE pc=%d r2=%d", n.id, pc, regs[2])
+}
+
+// RestoreCheckpoint implements core.Host (the abort path's pipeline flush
+// and register restore).
+func (n *Node) RestoreCheckpoint(regs [isa.NumRegs]memtypes.Word, pc int) {
+	n.restoreTrace(regs, pc)
+	n.core.FlushAll(regs, pc)
+}
+
+// FlashClearSpecBits implements core.Host (commit).
+func (n *Node) FlashClearSpecBits(epoch int) {
+	coherence.TraceAlways(n.now, "node%d COMMIT epoch=%d", n.id, epoch)
+	n.l1.FlashClearSpec(epoch)
+}
+
+// CondInvalidateSpec implements core.Host (abort).
+func (n *Node) CondInvalidateSpec(epoch int) int {
+	k := n.l1.ConditionalInvalidate(epoch)
+	coherence.TraceAlways(n.now, "node%d ABORT epoch=%d invalidated=%d pc->%d", n.id, epoch, k, n.core.ArchPC())
+	return k
+}
+
+// SBFlashInvalidate implements core.Host (abort).
+func (n *Node) SBFlashInvalidate(epoch int) int {
+	if n.coalSB == nil {
+		return 0
+	}
+	return n.coalSB.FlashInvalidateSpec(epoch)
+}
+
+// SBEpochDrained implements core.Host: the §3.2 commit condition. All
+// stores prior to and within the epoch must have completed into the cache:
+// no non-speculative entries, no entries of this epoch. (Entries of younger
+// epochs may remain: the two-checkpoint case.)
+func (n *Node) SBEpochDrained(epoch int) bool {
+	if n.coalSB == nil {
+		return true
+	}
+	if n.coalSB.CountEpoch(storebuffer.NonSpecEpoch) > 0 {
+		return false
+	}
+	return n.coalSB.CountEpoch(epoch) == 0
+}

@@ -1,0 +1,455 @@
+package node
+
+import (
+	"invisifence/internal/cache"
+	"invisifence/internal/coherence"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/storebuffer"
+)
+
+// blockLocked reports whether a block's cache lines must not be evicted:
+// an outstanding miss, pending store-buffer entries, or a cleaning
+// writeback in progress all pin it.
+func (n *Node) blockLocked(block memtypes.Addr) bool {
+	if _, ok := n.mshrs[block]; ok {
+		return true
+	}
+	if _, ok := n.cleanings[block]; ok {
+		return true
+	}
+	if n.coalSB != nil && len(n.coalSB.EntriesForBlock(block)) > 0 {
+		return true
+	}
+	if n.fifoSB != nil {
+		if e := n.fifoSB.Head(); e != nil && memtypes.BlockAddr(e.Addr) == block {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) l1SetIndex(a memtypes.Addr) uint64 {
+	return (uint64(a) >> memtypes.BlockShift) % uint64(n.l1.Sets())
+}
+
+// canAllocateFill enforces the per-set way-reservation rule that keeps
+// fills deadlock-free: outstanding fills plus pinned lines in an L1 set may
+// not exceed its associativity.
+func (n *Node) canAllocateFill(block memtypes.Addr) bool {
+	if len(n.mshrs) >= n.cfg.MSHRs {
+		return false
+	}
+	return n.setPending[n.l1SetIndex(block)] < n.l1.Ways()
+}
+
+// allocMSHR creates and tracks a miss for block. Callers must have checked
+// canAllocateFill.
+func (n *Node) allocMSHR(block memtypes.Addr, wantX bool) *mshrEntry {
+	m := &mshrEntry{block: block, wantX: wantX}
+	n.mshrs[block] = m
+	n.mshrOrder = append(n.mshrOrder, m)
+	n.setPending[n.l1SetIndex(block)]++
+	return m
+}
+
+func (n *Node) freeMSHR(m *mshrEntry) {
+	delete(n.mshrs, m.block)
+	for i, e := range n.mshrOrder {
+		if e == m {
+			n.mshrOrder = append(n.mshrOrder[:i], n.mshrOrder[i+1:]...)
+			break
+		}
+	}
+	n.setPending[n.l1SetIndex(m.block)]--
+	if n.cfg.FillHoldCycles > 0 && !m.prefetch {
+		// Livelock avoidance: give the core a short exclusive window on
+		// the freshly arrived line before external probes may take it.
+		n.fillHold[m.block] = n.now + n.cfg.FillHoldCycles
+		if len(n.fillHold) > 1024 {
+			for b, until := range n.fillHold {
+				if n.now >= until {
+					delete(n.fillHold, b)
+				}
+			}
+		}
+	}
+}
+
+// issueRequests sends protocol requests for allocated-but-unsent MSHRs and
+// decides between GetX and Upgrade by the local copy's state.
+func (n *Node) issueRequests() {
+	for _, m := range n.mshrOrder {
+		if m.sent || m.fromL2 {
+			continue
+		}
+		l2line := n.l2.Peek(m.block)
+		switch {
+		case !m.wantX:
+			n.send(n.home(m.block), &coherence.Msg{Kind: coherence.GetS, Addr: m.block})
+		case l2line != nil && l2line.State == cache.Shared:
+			m.upgrade = true
+			n.send(n.home(m.block), &coherence.Msg{Kind: coherence.Upgrade, Addr: m.block})
+		default:
+			n.send(n.home(m.block), &coherence.Msg{Kind: coherence.GetX, Addr: m.block})
+		}
+		m.sent = true
+	}
+}
+
+// requestBlock ensures a miss request is outstanding for block. wantX asks
+// for write permission. It returns false if no MSHR could be allocated.
+func (n *Node) requestBlock(block memtypes.Addr, wantX bool) bool {
+	if m, ok := n.mshrs[block]; ok {
+		// An upgrade of intent (S->X) while a GetS is in flight is handled
+		// after the fill completes; the drain loop re-requests.
+		_ = m
+		return true
+	}
+	// Local L2 can serve misses that don't need an ownership change.
+	l2line := n.l2.Peek(block)
+	if l2line != nil && (l2line.State.Writable() || !wantX) {
+		if !n.canAllocateFill(block) {
+			return false
+		}
+		m := n.allocMSHR(block, wantX)
+		m.fromL2 = true
+		m.readyAt = n.now + n.l2.HitLatency()
+		return true
+	}
+	if !n.canAllocateFill(block) {
+		return false
+	}
+	n.allocMSHR(block, wantX)
+	return true
+}
+
+// completeL2Serves finishes L2->L1 refills whose latency elapsed.
+func (n *Node) completeL2Serves() {
+	for i := 0; i < len(n.mshrOrder); i++ {
+		m := n.mshrOrder[i]
+		if !m.fromL2 || n.now < m.readyAt {
+			continue
+		}
+		l2line := n.l2.Peek(m.block)
+		if l2line == nil {
+			// The L2 copy was invalidated while the refill was in flight
+			// (external GetX). Fall back to a remote request.
+			m.fromL2 = false
+			m.sent = false
+			continue
+		}
+		if m.wantX && !l2line.State.Writable() {
+			m.fromL2 = false
+			m.sent = false
+			continue
+		}
+		st := cache.Shared
+		if l2line.State.Writable() {
+			st = cache.Exclusive
+		}
+		if !n.installL1(m.block, l2line.Data, st) {
+			continue // retry next cycle (no victim yet)
+		}
+		n.L2HitFills++
+		n.wakeWaiters(m)
+		n.freeMSHR(m)
+		i--
+	}
+}
+
+// wakeWaiters delivers fill data to loads parked on the MSHR. In continuous
+// mode the speculatively-read bit is set at fill (execution) time, §4.2.
+func (n *Node) wakeWaiters(m *mshrEntry) {
+	if len(m.waiters) == 0 {
+		return
+	}
+	line := n.l1.Peek(m.block)
+	n.invariant(line != nil, "wake without L1 line %#x", uint64(m.block))
+	for _, w := range m.waiters {
+		val := line.Data[memtypes.WordIndex(w.addr)]
+		n.core.FillLoad(w.tag, val)
+		n.markExecRead(line)
+	}
+	m.waiters = nil
+}
+
+// markExecRead sets the execution-time speculatively-read bit (continuous
+// mode only; selective marks at retirement).
+func (n *Node) markExecRead(line *cache.Line) {
+	if n.engine.Continuous() {
+		if y := n.engine.YoungestEpoch(); y >= 0 {
+			line.SpecRead[y] = true
+		}
+	}
+}
+
+// installL1 places a block into the L1, evicting as needed. Returns false
+// if no victim is available yet (caller retries next cycle).
+func (n *Node) installL1(block memtypes.Addr, data memtypes.BlockData, st cache.LineState) bool {
+	if line := n.l1.Peek(block); line != nil {
+		// Refresh (e.g., GrantX upgrades handled elsewhere); keep data.
+		return true
+	}
+	v := n.l1.VictimFiltered(block, false, n.blockLocked)
+	if v == nil {
+		// Every non-pinned way is speculative: the paper's
+		// eviction-forces-commit rule. Commit if the store buffer has
+		// drained; otherwise abort to guarantee forward progress.
+		if !n.engine.TryCommitAllNow() {
+			n.engine.AbortAll()
+		}
+		v = n.l1.VictimFiltered(block, false, n.blockLocked)
+		if v == nil {
+			return false
+		}
+	}
+	if v.State.Valid() {
+		n.evictL1Line(v)
+	}
+	n.l1.Install(v, block, data, st)
+	return true
+}
+
+// evictL1Line removes a (non-speculative) line from the L1, merging dirty
+// data into the L2 and replaying any in-window loads that consumed it.
+func (n *Node) evictL1Line(v *cache.Line) {
+	n.invariant(!v.SpecAny(), "evicting speculative L1 line %#x", uint64(v.Addr))
+	addr := v.Addr
+	if v.State == cache.Modified {
+		l2line := n.l2.Peek(addr)
+		n.invariant(l2line != nil, "L1 dirty evict without L2 line %#x (inclusion)", uint64(addr))
+		l2line.Data = v.Data
+		l2line.State = cache.Modified
+	}
+	n.l1.Invalidate(addr)
+	if n.cfg.SnoopLQ {
+		n.core.SnoopBlock(addr)
+	}
+}
+
+// installL2 places a block into the L2 (and nothing else; L1 follows).
+// Returns false if no victim is available yet.
+func (n *Node) installL2(block memtypes.Addr, data memtypes.BlockData, st cache.LineState) bool {
+	if line := n.l2.Peek(block); line != nil {
+		line.Data = data
+		line.State = st
+		return true
+	}
+	v := n.l2.VictimFiltered(block, true, n.blockLocked)
+	if v == nil {
+		return false
+	}
+	if v.State.Valid() {
+		if !n.evictL2Line(v) {
+			return false
+		}
+	}
+	n.l2.Install(v, block, data, st)
+	return true
+}
+
+// evictL2Line evicts an L2 line: back-invalidates the L1 (inclusion),
+// resolving speculative pins by commit-or-abort, and writes Exclusive/
+// Modified blocks back to the home directory via the writeback buffer.
+// Returns false if the eviction cannot proceed yet.
+func (n *Node) evictL2Line(v *cache.Line) bool {
+	addr := v.Addr
+	if l1line := n.l1.Peek(addr); l1line != nil {
+		if l1line.SpecAny() {
+			if !n.engine.TryCommitAllNow() {
+				n.engine.AbortAll()
+			}
+		}
+		if l1line := n.l1.Peek(addr); l1line != nil {
+			n.evictL1Line(l1line)
+			// evictL1Line may have made v Modified (dirty merge).
+		}
+	}
+	if _, busy := n.wbBuf[addr]; busy {
+		// A previous writeback of this block is still awaiting its WBAck;
+		// stall the eviction.
+		return false
+	}
+	old, ok := n.l2.Invalidate(addr)
+	n.invariant(ok, "L2 evict of absent line %#x", uint64(addr))
+	switch old.State {
+	case cache.Modified, cache.Exclusive:
+		n.wbBuf[addr] = &wbEntry{data: old.Data, dirty: old.State == cache.Modified}
+		n.send(n.home(addr), &coherence.Msg{
+			Kind: coherence.PutX, Addr: addr,
+			Data: old.Data, HasData: true,
+			Dirty: old.State == cache.Modified,
+		})
+	case cache.Shared:
+		// Silent drop; a stale Inv will be acked blindly.
+	}
+	return true
+}
+
+// startCleaning begins a cleaning writeback (§3.2): the first speculative
+// store to a non-speculatively-dirty block pushes the pre-speculative value
+// to the L2 so abort can recover it; the L1 line becomes Exclusive when the
+// cleaning completes.
+func (n *Node) startCleaning(block memtypes.Addr) {
+	if _, ok := n.cleanings[block]; ok {
+		return
+	}
+	n.cleanings[block] = n.now + n.l2.HitLatency()
+	n.cleanList = append(n.cleanList, block)
+	n.CleaningWBs++
+	coherence.TraceEvent(n.now, block, "node%d startCleaning done=%d", n.id, n.cleanings[block])
+}
+
+func (n *Node) completeCleanings() {
+	if len(n.cleanList) == 0 {
+		return
+	}
+	live := n.cleanList[:0]
+	for _, block := range n.cleanList {
+		done := n.cleanings[block]
+		if n.now < done {
+			live = append(live, block)
+			continue
+		}
+		l1line := n.l1.Peek(block)
+		applied := false
+		if l1line != nil && l1line.State == cache.Modified && !l1line.SpecWrittenAny() {
+			l2line := n.l2.Peek(block)
+			n.invariant(l2line != nil, "cleaning without L2 line %#x", uint64(block))
+			l2line.Data = l1line.Data
+			l2line.State = cache.Modified
+			l1line.State = cache.Exclusive
+			applied = true
+		}
+		coherence.TraceEvent(n.now, block, "node%d completeCleaning applied=%v w0l1=%d", n.id, applied, func() memtypes.Word {
+			if l1line != nil {
+				return l1line.Data[0]
+			}
+			return 0
+		}())
+		delete(n.cleanings, block)
+	}
+	n.cleanList = live
+}
+
+// drainStoreBuffer writes eligible store-buffer entries into the L1 and
+// requests ownership for the rest.
+func (n *Node) drainStoreBuffer() {
+	if n.fifoSB != nil {
+		n.drainFIFO()
+		return
+	}
+	n.drainCoalescing(0, 2, false)
+}
+
+// drainFIFO drains the word-granularity FIFO head in order and issues
+// exclusive prefetches for upcoming entries (store prefetching, §6.1).
+func (n *Node) drainFIFO() {
+	if e := n.fifoSB.Head(); e != nil {
+		block := memtypes.BlockAddr(e.Addr)
+		line := n.l1.Peek(block)
+		if line != nil && line.State.Writable() {
+			line.Data[memtypes.WordIndex(e.Addr)] = e.Val
+			line.State = cache.Modified
+			n.fifoSB.Pop()
+		} else {
+			n.requestBlock(block, true)
+		}
+	}
+	if n.cfg.StorePrefetchDepth > 0 && len(n.mshrs) < n.cfg.MSHRs-4 {
+		for _, block := range n.fifoSB.PrefetchBlocks(n.cfg.StorePrefetchDepth) {
+			if _, ok := n.mshrs[block]; ok {
+				continue
+			}
+			if line := n.l1.Peek(block); line != nil && line.State.Writable() {
+				continue
+			}
+			if n.requestBlock(block, true) {
+				n.Prefetches++
+			}
+		}
+	}
+}
+
+// drainCoalescing drains up to maxDrains eligible entries (all eligible
+// entries for `block` if nonzero — the probe path's drain-before-respond).
+// nonspecOnly restricts the drain to non-speculative entries: the probe
+// path must never flush speculative stores into a line it is about to
+// surrender (the speculative entry simply stays buffered and re-acquires
+// ownership after the external request is served).
+func (n *Node) drainCoalescing(block memtypes.Addr, maxDrains int, nonspecOnly bool) {
+	drained := 0
+	entries := n.coalSB.Entries()
+	for i := 0; i < len(entries) && (maxDrains == 0 || drained < maxDrains); i++ {
+		e := entries[i]
+		if block != 0 && e.Block != block {
+			continue
+		}
+		if nonspecOnly && e.Epoch != storebuffer.NonSpecEpoch {
+			continue
+		}
+		if n.drainEntry(e) {
+			drained++
+			entries = n.coalSB.Entries()
+			i--
+		}
+	}
+}
+
+// drainEntry attempts to write one coalescing-buffer entry into the L1.
+func (n *Node) drainEntry(e *storebuffer.CoalescingEntry) bool {
+	// Per-block age order: an older entry for the same block drains first.
+	for _, o := range n.coalSB.EntriesForBlock(e.Block) {
+		if o != e && o.Seq() < e.Seq() {
+			return false
+		}
+		if o == e {
+			break
+		}
+	}
+	line := n.l1.Peek(e.Block)
+	if line == nil || !line.State.Writable() {
+		// L1 may lack the block while the L2 owns it (L1 victim earlier).
+		n.requestBlock(e.Block, true)
+		return false
+	}
+	if _, cleaning := n.cleanings[e.Block]; cleaning {
+		return false
+	}
+	spec := e.Epoch != storebuffer.NonSpecEpoch
+	if spec {
+		// Hold-back rule (§3.1): a younger epoch's store to a block written
+		// by an older active epoch waits for the older commit.
+		age := n.engine.EpochAge(e.Epoch)
+		if age < 0 {
+			// Its epoch is gone (aborted entries are flushed, committed
+			// epochs drain first); treat as non-speculative remainder.
+			spec = false
+		} else {
+			for _, older := range n.engine.ActiveEpochs()[:age] {
+				if line.SpecWritten[older] {
+					return false
+				}
+			}
+		}
+		// First speculative store to a non-speculatively-dirty block:
+		// cleaning writeback first (§3.2).
+		coherence.TraceEvent(n.now, e.Block, "node%d drainCheck epoch=%d spec=%v state=%v writtenAny=%v readAny=%v", n.id, e.Epoch, spec, line.State, line.SpecWrittenAny(), line.SpecReadAny())
+		if spec && line.State == cache.Modified && !line.SpecWrittenAny() {
+			n.startCleaning(e.Block)
+			return false
+		}
+	}
+	for w := 0; w < memtypes.WordsPerBlock; w++ {
+		if e.Valid[w] {
+			line.Data[w] = e.Words[w]
+		}
+	}
+	line.State = cache.Modified
+	if spec {
+		line.SpecWritten[e.Epoch] = true
+	}
+	coherence.TraceEvent(n.now, e.Block, "node%d drain entry epoch=%d w0=%d(valid=%v)", n.id, e.Epoch, e.Words[0], e.Valid[0])
+	n.coalSB.Remove(e)
+	return true
+}

@@ -1,0 +1,328 @@
+// Package node assembles one simulated node: the out-of-order core, the L1D
+// and L2 caches, the post-retirement store buffer, the home-directory slice,
+// the cache-side coherence state machine, and the InvisiFence/ASO engine.
+//
+// The node implements both cpu.Backend (retirement policy per the Figure 2
+// consistency rules, speculation triggers per Figure 4) and core.Host (the
+// machine-state primitives the engine drives: checkpoint restore, flash
+// operations, store-buffer flush).
+package node
+
+import (
+	"fmt"
+
+	"invisifence/internal/cache"
+	"invisifence/internal/coherence"
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/cpu"
+	"invisifence/internal/isa"
+	"invisifence/internal/memctrl"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+	"invisifence/internal/stats"
+	"invisifence/internal/storebuffer"
+)
+
+// Config describes one node.
+type Config struct {
+	ID    network.NodeID
+	Nodes int
+	Model consistency.Model
+	// Engine selects speculation policy; Mode Off is a conventional
+	// implementation of Model.
+	Engine ifcore.Config
+	Core   cpu.Config
+	L1     cache.Config
+	L2     cache.Config
+	Memory memctrl.Config
+	// MSHRs bounds outstanding misses (Figure 6: 32).
+	MSHRs int
+	// SBCapacity sizes the store buffer: 64 word entries (FIFO, SC/TSO),
+	// 8 block entries (coalescing, single checkpoint), 32 (two in-flight
+	// checkpoints), per Figure 6.
+	SBCapacity int
+	// StorePrefetchDepth is how far past the FIFO head exclusive
+	// prefetches are issued (Flexus-style store prefetching; 0 disables).
+	StorePrefetchDepth int
+	// MsgsPerCycle bounds protocol messages consumed per cycle.
+	MsgsPerCycle int
+	// SnoopLQ enables in-window load-queue snooping. Kept on in every
+	// configuration including continuous (see DESIGN.md: functionally
+	// conservative, hardware-cost claim unaffected).
+	SnoopLQ bool
+	// FillHoldCycles parks external probes for a block for this many
+	// cycles after its fill arrives, so the requesting core can perform at
+	// least one access before surrendering the line. This is the standard
+	// livelock-avoidance window for hot atomics (ownership would otherwise
+	// ping-pong forever without any fetch-add completing). Bounded, so it
+	// cannot deadlock. 0 disables.
+	FillHoldCycles uint64
+}
+
+// UsesFIFOSB reports whether this configuration uses the word-granularity
+// FIFO store buffer (conventional SC/TSO) rather than the coalescing buffer.
+func (c *Config) UsesFIFOSB() bool {
+	return c.Engine.Mode == ifcore.ModeOff &&
+		consistency.RulesFor(c.Model).SB == consistency.SBFIFOWord
+}
+
+type mshrEntry struct {
+	block    memtypes.Addr
+	wantX    bool
+	upgrade  bool
+	sent     bool
+	fromL2   bool   // served by local L2
+	readyAt  uint64 // completion time for local L2 serves
+	prefetch bool
+	waiters  []loadWaiter
+	// invalidated marks a miss whose block was invalidated while pending:
+	// an Inv (from a directory transaction ordered after the one producing
+	// our fill) can overtake a 3-hop forwarded fill on a different network
+	// pair. The stale fill must be discarded and the request reissued, or
+	// the node would install a permanently incoherent copy.
+	invalidated bool
+}
+
+type loadWaiter struct {
+	tag  uint64
+	addr memtypes.Addr
+}
+
+type wbEntry struct {
+	data  memtypes.BlockData
+	dirty bool
+}
+
+type parkedProbe struct {
+	src      network.NodeID
+	msg      *coherence.Msg
+	deadline uint64 // CoV deferral deadline; 0 = no deadline (resource wait)
+	isCoV    bool
+}
+
+// Node is one processor node of the 16-node system.
+type Node struct {
+	cfg   Config
+	id    network.NodeID
+	nodes int
+	net   *network.Network
+	dir   *coherence.Directory
+	mem   *memctrl.Memory
+	core  *cpu.Core
+	l1    *cache.Cache
+	l2    *cache.Cache
+
+	fifoSB *storebuffer.FIFO
+	coalSB *storebuffer.Coalescing
+	engine *ifcore.Engine
+
+	st  *stats.NodeStats
+	now uint64
+
+	mshrs      map[memtypes.Addr]*mshrEntry
+	mshrOrder  []*mshrEntry
+	setPending map[uint64]int // L1 set index -> outstanding fills/locks
+
+	wbBuf     map[memtypes.Addr]*wbEntry
+	cleanings map[memtypes.Addr]uint64 // block -> cleaning-writeback done cycle
+	cleanList []memtypes.Addr          // deterministic iteration
+	fillHold  map[memtypes.Addr]uint64 // block -> probe-hold deadline after fill
+
+	parked []*parkedProbe
+	// parkedFills marks blocks whose fill data has arrived but is waiting
+	// for a victim way. Probes for these blocks must queue behind the fill:
+	// serving them first would invalidate the cached copy and let the
+	// parked fill later re-install stale data.
+	parkedFills map[memtypes.Addr]bool
+
+	accounting bool // false once the core halts (post-halt drain not charged)
+
+	// Stats.
+	CleaningWBs, Prefetches, L2HitFills, RemoteFills uint64
+}
+
+// New builds a node. The workload program and initial registers seed the
+// core.
+func New(cfg Config, net *network.Network, prog *isa.Program, regs [isa.NumRegs]memtypes.Word) *Node {
+	if cfg.MsgsPerCycle <= 0 {
+		cfg.MsgsPerCycle = 8
+	}
+	n := &Node{
+		cfg:         cfg,
+		id:          cfg.ID,
+		nodes:       cfg.Nodes,
+		net:         net,
+		mem:         memctrl.New(cfg.Memory),
+		l1:          cache.New(cfg.L1),
+		l2:          cache.New(cfg.L2),
+		st:          &stats.NodeStats{},
+		mshrs:       make(map[memtypes.Addr]*mshrEntry),
+		setPending:  make(map[uint64]int),
+		wbBuf:       make(map[memtypes.Addr]*wbEntry),
+		cleanings:   make(map[memtypes.Addr]uint64),
+		fillHold:    make(map[memtypes.Addr]uint64),
+		parkedFills: make(map[memtypes.Addr]bool),
+		accounting:  true,
+	}
+	n.dir = coherence.NewDirectory(cfg.ID, cfg.Nodes, n.mem, net)
+	if cfg.UsesFIFOSB() {
+		n.fifoSB = storebuffer.NewFIFO(cfg.SBCapacity)
+	} else {
+		n.coalSB = storebuffer.NewCoalescing(cfg.SBCapacity)
+	}
+	n.engine = ifcore.New(cfg.Engine, n)
+	n.core = cpu.New(int(cfg.ID), cfg.Core, prog, regs, n)
+	return n
+}
+
+// Directory exposes the node's home-directory slice (tests).
+func (n *Node) Directory() *coherence.Directory { return n.dir }
+
+// Memory exposes the node's memory controller (workload init, result reads).
+func (n *Node) Memory() *memctrl.Memory { return n.mem }
+
+// Core exposes the core (tests).
+func (n *Node) Core() *cpu.Core { return n.core }
+
+// L1 exposes the L1 cache (tests).
+func (n *Node) L1() *cache.Cache { return n.l1 }
+
+// L2 exposes the L2 cache (tests).
+func (n *Node) L2() *cache.Cache { return n.l2 }
+
+// Engine exposes the speculation engine (tests).
+func (n *Node) Engine() *ifcore.Engine { return n.engine }
+
+// Stats exposes accounting (also part of core.Host).
+func (n *Node) Stats() *stats.NodeStats { return n.st }
+
+// Now implements core.Host.
+func (n *Node) Now() uint64 { return n.now }
+
+// Halted reports whether the core has retired its Halt.
+func (n *Node) Halted() bool { return n.core.Halted() }
+
+// Finished reports whether the node is fully quiesced: program halted,
+// speculation resolved, stores drained, no outstanding misses.
+func (n *Node) Finished() bool {
+	return n.core.Halted() && !n.engine.Speculating() && n.sbEmpty() &&
+		len(n.mshrs) == 0 && len(n.parked) == 0 && len(n.cleanings) == 0
+}
+
+func (n *Node) sbEmpty() bool {
+	if n.fifoSB != nil {
+		return n.fifoSB.Empty()
+	}
+	return n.coalSB.Empty()
+}
+
+// SBOccupancy returns current store buffer entries (tests).
+func (n *Node) SBOccupancy() int {
+	if n.fifoSB != nil {
+		return n.fifoSB.Len()
+	}
+	return n.coalSB.Len()
+}
+
+func (n *Node) home(a memtypes.Addr) network.NodeID {
+	return coherence.HomeOf(a, n.nodes)
+}
+
+func (n *Node) send(dst network.NodeID, m *coherence.Msg) {
+	coherence.Trace(n.now, fmt.Sprintf("node%d->%d", n.id, dst), m, "")
+	n.net.Send(n.id, dst, m)
+}
+
+// Tick advances the node one cycle. The simulator has already advanced the
+// network, so this cycle's deliveries are in the inbox.
+func (n *Node) Tick(now uint64) {
+	n.now = now
+	n.retryParked()
+	n.deliver()
+	n.dir.Tick(now)
+	n.completeCleanings()
+	n.completeL2Serves()
+	n.issueRequests()
+	n.drainStoreBuffer()
+	if n.core.Halted() {
+		n.engine.RequestHalt()
+	}
+	n.engine.Tick()
+	n.core.Tick(now)
+	n.account()
+}
+
+// deliver consumes protocol messages from the network inbox.
+func (n *Node) deliver() {
+	for i := 0; i < n.cfg.MsgsPerCycle; i++ {
+		m, ok := n.net.Recv(n.id)
+		if !ok {
+			return
+		}
+		cm := m.Payload.(*coherence.Msg)
+		if cm.Kind.IsDirRequest() {
+			n.dir.Handle(n.now, m.Src, cm)
+			continue
+		}
+		coherence.Trace(n.now, fmt.Sprintf("node%d<-%d", n.id, m.Src), cm, "")
+		n.handleCacheMsg(m.Src, cm)
+	}
+}
+
+// account classifies this cycle for the Figure 9 breakdown.
+func (n *Node) account() {
+	if !n.accounting {
+		return
+	}
+	if n.core.Halted() {
+		n.accounting = false
+		return
+	}
+	var cl stats.CycleClass
+	if n.core.RetiredThisCycle > 0 {
+		cl = stats.Busy
+	} else {
+		switch n.core.HeadStall {
+		case cpu.StallSBFull:
+			cl = stats.SBFull
+		case cpu.StallSBDrain:
+			cl = stats.SBDrain
+		default:
+			cl = stats.Other
+		}
+	}
+	n.st.Account(cl, n.engine.YoungestEpoch())
+}
+
+// DebugString dumps miss/parking/cleaning state for diagnostics.
+func (n *Node) DebugString() string {
+	out := ""
+	for _, m := range n.mshrOrder {
+		out += fmt.Sprintf("  mshr %#x wantX=%v sent=%v upg=%v fromL2=%v pf=%v waiters=%d\n",
+			uint64(m.block), m.wantX, m.sent, m.upgrade, m.fromL2, m.prefetch, len(m.waiters))
+	}
+	for _, p := range n.parked {
+		out += fmt.Sprintf("  parked %v from=%d cov=%v deadline=%d\n", p.msg, p.src, p.isCoV, p.deadline)
+	}
+	for b, t := range n.cleanings {
+		out += fmt.Sprintf("  cleaning %#x until %d\n", uint64(b), t)
+	}
+	if n.coalSB != nil {
+		for _, e := range n.coalSB.Entries() {
+			line := "absent"
+			if l := n.l1.Peek(e.Block); l != nil {
+				line = l.State.String()
+			}
+			out += fmt.Sprintf("  sb entry %#x epoch=%d l1=%s\n", uint64(e.Block), e.Epoch, line)
+		}
+	}
+	out += fmt.Sprintf("  engine: active=%v\n", n.engine.ActiveEpochs())
+	return out
+}
+
+func (n *Node) invariant(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("node %d @%d: %s", n.id, n.now, fmt.Sprintf(format, args...)))
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+)
+
+// TestSpeculativeHaltRollback is a regression test for a subtle abort bug:
+// a Halt that retires speculatively and is then rolled back must un-halt
+// the core and the engine, or the rolled-back tail of the program is
+// silently dropped (observed as lost lock-protected increments).
+func TestSpeculativeHaltRollback(t *testing.T) {
+	const n = 30
+	lock := memtypes.Addr(0x5000)
+	data := memtypes.Addr(0x5100)
+	mk := func(fp isa.FencePolicy) *isa.Program {
+		b := isa.NewBuilder("locked-inc")
+		b.MovI(isa.R4, int64(lock))
+		b.MovI(isa.R5, int64(data))
+		b.MovI(isa.R2, 0)
+		b.MovI(isa.R3, n)
+		b.Label("loop")
+		b.SpinLock(isa.R4, 0, isa.R10, isa.R11, fp)
+		b.Ld(isa.R6, isa.R5, 0)
+		b.AddI(isa.R6, isa.R6, 1)
+		b.St(isa.R5, 0, isa.R6)
+		b.SpinUnlock(isa.R4, 0, fp)
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Bltu(isa.R2, isa.R3, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	// RMO selective hits the speculative-halt path reliably: the final
+	// iterations run inside one deep speculation that a contending reader
+	// aborts after the Halt has speculatively retired.
+	cfg := testConfig(2, 2, consistency.RMO, ifcore.DefaultSelective(consistency.RMO))
+	fp := isa.RMOFences
+	progs := []*isa.Program{mk(fp), mk(fp), mk(fp), mk(fp)}
+	s := New(cfg, progs, nil)
+	res := s.Run()
+	if !res.Finished {
+		t.Fatalf("did not finish (cycles=%d)", res.Cycles)
+	}
+	if got := s.ReadWord(data); got != 4*n {
+		t.Fatalf("data = %d, want %d", got, 4*n)
+	}
+}

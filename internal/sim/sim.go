@@ -1,0 +1,192 @@
+// Package sim assembles the full 16-node system of Figure 6 — cores, cache
+// hierarchies, store buffers, directories, torus — and drives the
+// deterministic cycle loop.
+package sim
+
+import (
+	"fmt"
+
+	"invisifence/internal/cache"
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+	"invisifence/internal/node"
+	"invisifence/internal/stats"
+)
+
+// Config describes a whole-system run.
+type Config struct {
+	Net  network.Config
+	Node node.Config // template; ID is assigned per node
+	// MaxCycles bounds the run (0 = unbounded).
+	MaxCycles uint64
+	// WatchdogCycles panics if no instruction retires anywhere for this
+	// long (deadlock detector; 0 disables).
+	WatchdogCycles uint64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Cycles    uint64
+	Finished  bool // all programs halted and quiesced
+	Retired   uint64
+	Breakdown stats.Breakdown
+	PerNode   []*stats.NodeStats
+
+	// SpecFraction is the Figure 10 metric aggregated over cores.
+	SpecFraction float64
+
+	// Aggregate event counters.
+	Speculations, Commits, Aborts uint64
+	CoVDeferrals, CoVSaves        uint64
+	CleaningWBs, Prefetches       uint64
+	L2HitFills, RemoteFills       uint64
+	Mispredicts, Replays          uint64
+}
+
+// System is one assembled machine.
+type System struct {
+	cfg   Config
+	net   *network.Network
+	nodes []*node.Node
+	now   uint64
+}
+
+// New builds the system. programs[i] runs on node i; regs[i] seeds its
+// registers (thread id, argument pointers).
+func New(cfg Config, programs []*isa.Program, regs [][isa.NumRegs]memtypes.Word) *System {
+	nnodes := cfg.Net.Width * cfg.Net.Height
+	if len(programs) != nnodes {
+		panic(fmt.Sprintf("sim: %d programs for %d nodes", len(programs), nnodes))
+	}
+	net := network.New(cfg.Net)
+	s := &System{cfg: cfg, net: net}
+	for i := 0; i < nnodes; i++ {
+		nc := cfg.Node
+		nc.ID = network.NodeID(i)
+		nc.Nodes = nnodes
+		var r [isa.NumRegs]memtypes.Word
+		if regs != nil {
+			r = regs[i]
+		}
+		s.nodes = append(s.nodes, node.New(nc, net, programs[i], r))
+	}
+	return s
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return len(s.nodes) }
+
+// Node returns node i (tests).
+func (s *System) Node(i int) *node.Node { return s.nodes[i] }
+
+// WriteWord initializes a word in memory at its home node. Call before Run.
+func (s *System) WriteWord(a memtypes.Addr, v memtypes.Word) {
+	home := int(a>>memtypes.BlockShift) % len(s.nodes)
+	s.nodes[home].Memory().WriteWord(a, v)
+}
+
+// ReadWord returns the current coherent value of a word: the unique dirty
+// cached copy if one exists, else home memory. Intended for post-run result
+// validation on a quiesced system.
+func (s *System) ReadWord(a memtypes.Addr) memtypes.Word {
+	wi := memtypes.WordIndex(a)
+	for _, n := range s.nodes {
+		if l := n.L1().Peek(a); l != nil && l.State == cache.Modified {
+			return l.Data[wi]
+		}
+	}
+	for _, n := range s.nodes {
+		if l := n.L2().Peek(a); l != nil && l.State == cache.Modified {
+			return l.Data[wi]
+		}
+	}
+	home := int(a>>memtypes.BlockShift) % len(s.nodes)
+	return s.nodes[home].Memory().ReadWord(a)
+}
+
+// Run executes the cycle loop until every node quiesces (or limits hit).
+func (s *System) Run() Result {
+	var lastRetired uint64
+	var lastProgress uint64
+	for {
+		s.now++
+		s.net.Tick(s.now)
+		for _, n := range s.nodes {
+			n.Tick(s.now)
+		}
+		done := true
+		for _, n := range s.nodes {
+			if !n.Finished() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return s.result(true)
+		}
+		if s.cfg.MaxCycles > 0 && s.now >= s.cfg.MaxCycles {
+			return s.result(false)
+		}
+		if s.cfg.WatchdogCycles > 0 {
+			total := s.totalRetired()
+			if total != lastRetired {
+				lastRetired = total
+				lastProgress = s.now
+			} else if s.now-lastProgress > s.cfg.WatchdogCycles {
+				panic(fmt.Sprintf("sim: no retirement progress for %d cycles at cycle %d\n%s",
+					s.cfg.WatchdogCycles, s.now, s.debugState()))
+			}
+		}
+	}
+}
+
+func (s *System) totalRetired() uint64 {
+	var t uint64
+	for _, n := range s.nodes {
+		t += n.Core().Retired
+	}
+	return t
+}
+
+func (s *System) debugState() string {
+	out := ""
+	for i, n := range s.nodes {
+		c := n.Core()
+		out += fmt.Sprintf("node %d: halted=%v pc=%d rob=%d sb=%d retired=%d spec=%v\n",
+			i, c.Halted(), c.ArchPC(), c.ROBOccupancy(), n.SBOccupancy(),
+			c.Retired, n.Engine().Speculating())
+	}
+	return out
+}
+
+func (s *System) result(finished bool) Result {
+	r := Result{
+		Cycles:   s.now,
+		Finished: finished,
+	}
+	var specCycles, totalCycles uint64
+	for _, n := range s.nodes {
+		st := n.Stats()
+		r.PerNode = append(r.PerNode, st)
+		r.Breakdown.Add(&st.Final)
+		r.Retired += st.Retired
+		specCycles += st.SpecCycles
+		totalCycles += st.TotalCycles
+		r.Speculations += st.Speculations
+		r.Commits += st.Commits
+		r.Aborts += st.Aborts
+		r.CoVDeferrals += st.CoVDeferrals
+		r.CoVSaves += st.CoVSaves
+		r.CleaningWBs += n.CleaningWBs
+		r.Prefetches += n.Prefetches
+		r.L2HitFills += n.L2HitFills
+		r.RemoteFills += n.RemoteFills
+		r.Mispredicts += n.Core().Mispredicts
+		r.Replays += n.Core().Replays
+	}
+	if totalCycles > 0 {
+		r.SpecFraction = float64(specCycles) / float64(totalCycles)
+	}
+	return r
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+
+	"invisifence/internal/cache"
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/cpu"
+	"invisifence/internal/isa"
+	"invisifence/internal/memctrl"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+	"invisifence/internal/node"
+)
+
+// testConfig builds a small, fast system for functional tests.
+func testConfig(w, h int, model consistency.Model, eng ifcore.Config) Config {
+	nc := node.Config{
+		Model:              model,
+		Engine:             eng,
+		Core:               cpu.DefaultConfig(),
+		L1:                 cache.Config{SizeBytes: 16 << 10, Ways: 2, HitLatency: 2, Name: "L1"},
+		L2:                 cache.Config{SizeBytes: 128 << 10, Ways: 8, HitLatency: 12, Name: "L2"},
+		Memory:             memctrl.Config{AccessLatency: 60, Banks: 8, BankBusy: 4},
+		MSHRs:              16,
+		SBCapacity:         64,
+		StorePrefetchDepth: 4,
+		SnoopLQ:            true,
+		FillHoldCycles:     8,
+	}
+	if !nc.UsesFIFOSB() {
+		nc.SBCapacity = 8
+		if eng.MaxCheckpoints > 1 {
+			nc.SBCapacity = 32
+		}
+	}
+	return Config{
+		Net:            network.Config{Width: w, Height: h, HopLatency: 10, LocalLatency: 1},
+		Node:           nc,
+		MaxCycles:      2_000_000,
+		WatchdogCycles: 200_000,
+	}
+}
+
+func offEngine(m consistency.Model) ifcore.Config {
+	return ifcore.Config{Mode: ifcore.ModeOff, Model: m}
+}
+
+// haltProgram is a program that halts immediately (for idle nodes).
+func haltProgram() *isa.Program {
+	b := isa.NewBuilder("halt")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSingleCoreCompute(t *testing.T) {
+	// Sum 1..100 with a loop, store the result, halt.
+	b := isa.NewBuilder("sum")
+	b.MovI(isa.R1, 0)   // sum
+	b.MovI(isa.R2, 1)   // i
+	b.MovI(isa.R3, 101) // bound
+	b.MovI(isa.R4, 0x1000)
+	b.Label("loop")
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Bltu(isa.R2, isa.R3, "loop")
+	b.St(isa.R4, 0, isa.R1)
+	b.Halt()
+	prog := b.MustBuild()
+
+	s := New(testConfig(1, 1, consistency.SC, offEngine(consistency.SC)), []*isa.Program{prog}, nil)
+	res := s.Run()
+	if !res.Finished {
+		t.Fatalf("did not finish: %+v", res)
+	}
+	if got := s.ReadWord(0x1000); got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+	if res.Retired == 0 {
+		t.Fatal("nothing retired")
+	}
+}
+
+func TestSingleCoreLoadStoreRoundTrip(t *testing.T) {
+	// Write a table, read it back reversed, accumulate.
+	b := isa.NewBuilder("table")
+	base := int64(0x2000)
+	b.MovI(isa.R4, base)
+	b.MovI(isa.R2, 0)
+	b.MovI(isa.R3, 64)
+	b.Label("wr")
+	b.ShlI(isa.R5, isa.R2, 3)
+	b.Add(isa.R5, isa.R4, isa.R5)
+	b.AddI(isa.R6, isa.R2, 7)
+	b.St(isa.R5, 0, isa.R6)
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Bltu(isa.R2, isa.R3, "wr")
+	b.MovI(isa.R2, 0)
+	b.MovI(isa.R7, 0) // sum
+	b.Label("rd")
+	b.ShlI(isa.R5, isa.R2, 3)
+	b.Add(isa.R5, isa.R4, isa.R5)
+	b.Ld(isa.R6, isa.R5, 0)
+	b.Add(isa.R7, isa.R7, isa.R6)
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Bltu(isa.R2, isa.R3, "rd")
+	b.MovI(isa.R8, 0x3000)
+	b.St(isa.R8, 0, isa.R7)
+	b.Halt()
+	prog := b.MustBuild()
+
+	for _, model := range consistency.Models {
+		s := New(testConfig(1, 1, model, offEngine(model)), []*isa.Program{prog}, nil)
+		res := s.Run()
+		if !res.Finished {
+			t.Fatalf("%v: did not finish", model)
+		}
+		// sum of (i+7) for i in 0..63 = 64*7 + 2016 = 2464
+		if got := s.ReadWord(0x3000); got != 2464 {
+			t.Fatalf("%v: sum = %d, want 2464", model, got)
+		}
+	}
+}
+
+func TestTwoCoreSharedCounterAtomic(t *testing.T) {
+	// Both cores fetch-add a shared counter N times; total must be 2N.
+	const n = 50
+	mk := func() *isa.Program {
+		b := isa.NewBuilder("count")
+		b.MovI(isa.R4, 0x4000)
+		b.MovI(isa.R2, 0)
+		b.MovI(isa.R3, n)
+		b.MovI(isa.R5, 1)
+		b.Label("loop")
+		b.Fadd(isa.R6, isa.R4, 0, isa.R5)
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Bltu(isa.R2, isa.R3, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	for _, model := range consistency.Models {
+		s := New(testConfig(2, 1, model, offEngine(model)), []*isa.Program{mk(), mk()}, nil)
+		res := s.Run()
+		if !res.Finished {
+			t.Fatalf("%v: did not finish", model)
+		}
+		if got := s.ReadWord(0x4000); got != 2*n {
+			t.Fatalf("%v: counter = %d, want %d", model, got, 2*n)
+		}
+	}
+}
+
+func TestTwoCoreSpinlockInvariant(t *testing.T) {
+	// Lock-protected read-modify-write without atomicity inside the
+	// critical section: if mutual exclusion holds, no increments are lost.
+	const n = 30
+	lock := memtypes.Addr(0x5000)
+	data := memtypes.Addr(0x5100)
+	mk := func(fp isa.FencePolicy) *isa.Program {
+		b := isa.NewBuilder("locked-inc")
+		b.MovI(isa.R4, int64(lock))
+		b.MovI(isa.R5, int64(data))
+		b.MovI(isa.R2, 0)
+		b.MovI(isa.R3, n)
+		b.Label("loop")
+		b.SpinLock(isa.R4, 0, isa.R10, isa.R11, fp)
+		b.Ld(isa.R6, isa.R5, 0)
+		b.AddI(isa.R6, isa.R6, 1)
+		b.St(isa.R5, 0, isa.R6)
+		b.SpinUnlock(isa.R4, 0, fp)
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Bltu(isa.R2, isa.R3, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	configs := []struct {
+		name  string
+		model consistency.Model
+		eng   ifcore.Config
+	}{
+		{"sc-conventional", consistency.SC, offEngine(consistency.SC)},
+		{"tso-conventional", consistency.TSO, offEngine(consistency.TSO)},
+		{"rmo-conventional", consistency.RMO, offEngine(consistency.RMO)},
+		{"invisi-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
+		{"invisi-tso", consistency.TSO, ifcore.DefaultSelective(consistency.TSO)},
+		{"invisi-rmo", consistency.RMO, ifcore.DefaultSelective(consistency.RMO)},
+		{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
+		{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
+		{"aso", consistency.SC, ifcore.DefaultASO()},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := isa.NoFences
+			if tc.model == consistency.RMO {
+				fp = isa.RMOFences
+			}
+			progs := []*isa.Program{mk(fp), mk(fp), mk(fp), mk(fp)}
+			s := New(testConfig(2, 2, tc.model, tc.eng), progs, nil)
+			res := s.Run()
+			if !res.Finished {
+				t.Fatalf("did not finish (cycles=%d)", res.Cycles)
+			}
+			if got := s.ReadWord(data); got != 4*n {
+				t.Fatalf("data = %d, want %d (lost updates => mutual exclusion or ordering broken)", got, 4*n)
+			}
+			if got := s.ReadWord(lock); got != 0 {
+				t.Fatalf("lock left held: %d", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownTotalsAndFractions(t *testing.T) {
+	var b Breakdown
+	b[Busy] = 50
+	b[Other] = 30
+	b[SBDrain] = 20
+	if b.Total() != 100 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	if b.Frac(Busy) != 0.5 || b.Frac(SBFull) != 0 {
+		t.Fatal("fractions wrong")
+	}
+	var o Breakdown
+	o[Busy] = 10
+	b.Add(&o)
+	if b[Busy] != 60 {
+		t.Fatal("add wrong")
+	}
+	var empty Breakdown
+	if empty.Frac(Busy) != 0 {
+		t.Fatal("empty breakdown fraction must be 0")
+	}
+}
+
+func TestStagedCommitKeepsClasses(t *testing.T) {
+	var s NodeStats
+	s.Account(Busy, 1)
+	s.Account(Other, 1)
+	s.Account(Busy, 1)
+	if s.Final.Total() != 0 {
+		t.Fatal("staged cycles leaked into final")
+	}
+	s.CommitEpoch(1)
+	if s.Final[Busy] != 2 || s.Final[Other] != 1 || s.Final[Violation] != 0 {
+		t.Fatalf("commit misfiled: %v", s.Final)
+	}
+}
+
+func TestStagedAbortBecomesViolation(t *testing.T) {
+	var s NodeStats
+	s.Account(Busy, 0)
+	s.Account(SBDrain, 0)
+	s.AbortEpoch(0)
+	if s.Final[Violation] != 2 || s.Final[Busy] != 0 {
+		t.Fatalf("abort misfiled: %v", s.Final)
+	}
+	if s.Aborts != 1 {
+		t.Fatal("abort not counted")
+	}
+}
+
+func TestSpecFraction(t *testing.T) {
+	var s NodeStats
+	s.Account(Busy, -1)
+	s.Account(Busy, 0)
+	s.Account(Busy, 0)
+	s.Account(Busy, -1)
+	if got := s.SpecFraction(); got != 0.5 {
+		t.Fatalf("spec fraction = %f", got)
+	}
+	var empty NodeStats
+	if empty.SpecFraction() != 0 {
+		t.Fatal("empty spec fraction")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.Mean != 4 || s.N != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	// sd = 2, CI = 1.96*2/sqrt(3)
+	want := 1.96 * 2 / math.Sqrt(3)
+	if math.Abs(s.HalfCI95-want) > 1e-9 {
+		t.Fatalf("CI = %f, want %f", s.HalfCI95, want)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.HalfCI95 != 0 {
+		t.Fatalf("single summary %+v", one)
+	}
+	if one.String() == "" || s.String() == "" {
+		t.Fatal("summary strings")
+	}
+}
+
+func TestSummarizeMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			// Skip inputs where the plain sum overflows.
+			if math.IsNaN(x) || math.Abs(x) > 1e300/float64(len(xs)) {
+				return true
+			}
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := Summarize(xs).Mean
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Busy; c < NumClasses; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad class string %q", s)
+		}
+		seen[s] = true
+	}
+}

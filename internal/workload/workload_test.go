@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"invisifence/internal/cache"
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/cpu"
+	"invisifence/internal/isa"
+	"invisifence/internal/memctrl"
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+	"invisifence/internal/node"
+	"invisifence/internal/sim"
+)
+
+// runConfig builds a small 4-node system for workload validation tests.
+func runConfig(model consistency.Model, eng ifcore.Config) sim.Config {
+	nc := node.Config{
+		Model:              model,
+		Engine:             eng,
+		Core:               cpu.DefaultConfig(),
+		L1:                 cache.Config{SizeBytes: 16 << 10, Ways: 2, HitLatency: 2, Name: "L1"},
+		L2:                 cache.Config{SizeBytes: 128 << 10, Ways: 8, HitLatency: 12, Name: "L2"},
+		Memory:             memctrl.Config{AccessLatency: 60, Banks: 16, BankBusy: 4},
+		MSHRs:              16,
+		SBCapacity:         64,
+		StorePrefetchDepth: 4,
+		SnoopLQ:            true,
+		FillHoldCycles:     8,
+	}
+	if !nc.UsesFIFOSB() {
+		nc.SBCapacity = 8
+		if eng.MaxCheckpoints > 1 {
+			nc.SBCapacity = 32
+		}
+	}
+	return sim.Config{
+		Net:            network.Config{Width: 2, Height: 2, HopLatency: 10, LocalLatency: 1},
+		Node:           nc,
+		MaxCycles:      8_000_000,
+		WatchdogCycles: 300_000,
+	}
+}
+
+// runAndValidate executes a workload and checks its data invariant.
+func runAndValidate(t *testing.T, name string, model consistency.Model, eng ifcore.Config) sim.Result {
+	t.Helper()
+	p := Params{Cores: 4, Model: model, Seed: 1, Scale: 0.3}
+	wl := MustGet(name, p)
+	cfg := runConfig(model, eng)
+	s := sim.New(cfg, wl.Programs, wl.RegInit)
+	for a, v := range wl.MemInit {
+		s.WriteWord(a, v)
+	}
+	res := s.Run()
+	if !res.Finished {
+		t.Fatalf("%s: did not finish in %d cycles", name, res.Cycles)
+	}
+	if err := wl.Validate(s.ReadWord); err != nil {
+		t.Fatalf("%s: validation failed: %v", name, err)
+	}
+	return res
+}
+
+func off(m consistency.Model) ifcore.Config {
+	return ifcore.Config{Mode: ifcore.ModeOff, Model: m}
+}
+
+// TestWorkloadsConventional validates every workload's end-to-end data
+// invariant under the three conventional implementations.
+func TestWorkloadsConventional(t *testing.T) {
+	for _, name := range Names() {
+		for _, m := range consistency.Models {
+			name, m := name, m
+			t.Run(name+"/"+m.String(), func(t *testing.T) {
+				t.Parallel()
+				runAndValidate(t, name, m, off(m))
+			})
+		}
+	}
+}
+
+// TestWorkloadsSpeculative validates every workload under the speculative
+// implementations — whole-program proof that rollback and commit preserve
+// the data invariants.
+func TestWorkloadsSpeculative(t *testing.T) {
+	engines := []struct {
+		name  string
+		model consistency.Model
+		eng   ifcore.Config
+	}{
+		{"invisi-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
+		{"invisi-tso", consistency.TSO, ifcore.DefaultSelective(consistency.TSO)},
+		{"invisi-rmo", consistency.RMO, ifcore.DefaultSelective(consistency.RMO)},
+		{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
+		{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
+		{"aso", consistency.SC, ifcore.DefaultASO()},
+	}
+	for _, name := range Names() {
+		for _, e := range engines {
+			name, e := name, e
+			t.Run(name+"/"+e.name, func(t *testing.T) {
+				t.Parallel()
+				runAndValidate(t, name, e.model, e.eng)
+			})
+		}
+	}
+}
+
+// TestWorkloadDeterminism: identical parameters must produce identical
+// cycle counts (the simulator is strictly deterministic).
+func TestWorkloadDeterminism(t *testing.T) {
+	r1 := runAndValidate(t, "apache", consistency.SC, off(consistency.SC))
+	r2 := runAndValidate(t, "apache", consistency.SC, off(consistency.SC))
+	if r1.Cycles != r2.Cycles || r1.Retired != r2.Retired {
+		t.Fatalf("nondeterministic: %d/%d cycles, %d/%d retired",
+			r1.Cycles, r2.Cycles, r1.Retired, r2.Retired)
+	}
+}
+
+// TestWorkloadGeneratorsBasics checks structural properties of generation.
+func TestWorkloadGeneratorsBasics(t *testing.T) {
+	p := Params{Cores: 4, Model: consistency.RMO, Seed: 7, Scale: 0.2}
+	for _, name := range Names() {
+		wl := MustGet(name, p)
+		if len(wl.Programs) != p.Cores {
+			t.Fatalf("%s: %d programs for %d cores", name, len(wl.Programs), p.Cores)
+		}
+		if wl.Description == "" {
+			t.Fatalf("%s: missing description", name)
+		}
+		for i, prog := range wl.Programs {
+			if prog.Len() == 0 {
+				t.Fatalf("%s: empty program %d", name, i)
+			}
+			last := prog.Instrs[len(prog.Instrs)-1]
+			if last.Op != isa.Halt {
+				t.Fatalf("%s: program %d does not end in halt", name, i)
+			}
+		}
+		// RMO programs must contain fences (the sync library emits them).
+		fences := 0
+		for _, in := range wl.Programs[0].Instrs {
+			if in.Op == isa.Fence {
+				fences++
+			}
+		}
+		if fences == 0 {
+			t.Fatalf("%s: no fences emitted under RMO", name)
+		}
+	}
+}
+
+// TestUnknownWorkload checks the error path.
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Get("nope", Params{Cores: 2}); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+var _ = memtypes.Addr(0) // keep import when layout helpers change

@@ -1,0 +1,83 @@
+package invisifence
+
+import (
+	"fmt"
+
+	"invisifence/internal/litmus"
+)
+
+// LitmusOutcome is one observed litmus-test outcome with its frequency.
+type LitmusOutcome struct {
+	Values [4]uint64
+	Count  int
+}
+
+// LitmusResult summarizes a litmus sweep under one implementation.
+type LitmusResult struct {
+	Test      string
+	Config    string
+	Runs      int
+	Outcomes  []LitmusOutcome
+	Forbidden int // runs that produced a model-forbidden outcome (must be 0)
+	Relaxed   int // runs showing the tracked relaxed outcome
+}
+
+// LitmusTests lists the available litmus tests (SB, MP, LB, IRIW, CoRR, RMW).
+func LitmusTests() []string {
+	names := make([]string, len(litmus.Tests))
+	for i, t := range litmus.Tests {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// LitmusConfigs lists the implementations the litmus harness can drive.
+func LitmusConfigs() []string {
+	specs := litmus.AllConfigs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// RunLitmus sweeps one litmus test under one implementation across seeds,
+// reporting outcome frequencies and any forbidden observations.
+func RunLitmus(test, config string, seeds int) (LitmusResult, error) {
+	var tt *litmus.Test
+	for i := range litmus.Tests {
+		if litmus.Tests[i].Name == test {
+			tt = &litmus.Tests[i]
+			break
+		}
+	}
+	if tt == nil {
+		return LitmusResult{}, fmt.Errorf("invisifence: unknown litmus test %q (have %v)", test, LitmusTests())
+	}
+	var spec *litmus.ConfigSpec
+	for _, s := range litmus.AllConfigs() {
+		if s.Name == config {
+			spec = &s
+			break
+		}
+	}
+	if spec == nil {
+		return LitmusResult{}, fmt.Errorf("invisifence: unknown litmus config %q (have %v)", config, LitmusConfigs())
+	}
+	r := litmus.Run(*tt, *spec, seeds)
+	out := LitmusResult{
+		Test:      r.Test,
+		Config:    r.Config,
+		Runs:      r.Runs,
+		Forbidden: len(r.Violations),
+		Relaxed:   r.Relaxed,
+	}
+	for o, n := range r.Outcomes {
+		var vals [4]uint64
+		for i, v := range o {
+			vals[i] = uint64(v)
+		}
+		out.Outcomes = append(out.Outcomes, LitmusOutcome{Values: vals, Count: n})
+	}
+	return out, nil
+}
