@@ -6,6 +6,7 @@
 //	figures                    # all figures, 1 seed, full scale
 //	figures -fig 8 -seeds 3    # Figure 8 with 95% CIs over 3 seeds
 //	figures -scale 0.5 -workloads apache,ocean
+//	figures -cache .invisifence-cache   # reuse results across runs
 //	figures -markdown > results.md
 package main
 
@@ -25,9 +26,10 @@ func main() {
 	wls := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	par := flag.Int("parallel", 4, "concurrent simulations")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	cacheDir := flag.String("cache", "", "persistent result cache directory shared with cmd/sweep (\"\" disables)")
 	flag.Parse()
 
-	opts := invisifence.ExpOptions{Scale: *scale, Parallel: *par}
+	opts := invisifence.ExpOptions{Scale: *scale, Parallel: *par, CacheDir: *cacheDir}
 	for s := 1; s <= *seeds; s++ {
 		opts.Seeds = append(opts.Seeds, int64(s))
 	}
@@ -35,6 +37,9 @@ func main() {
 		opts.Workloads = strings.Split(*wls, ",")
 	}
 	c := invisifence.NewCampaign(opts)
+	if err := c.CacheErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: result cache disabled: %v\n", err)
+	}
 
 	emit := func(t *invisifence.Table, err error) {
 		if err != nil {
@@ -85,5 +90,8 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "%d simulated, %s\n", c.Simulated(), c.CacheStats())
 	}
 }

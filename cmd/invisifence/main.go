@@ -20,41 +20,15 @@ import (
 	"invisifence/internal/stats"
 )
 
-func variantByName(name string) (invisifence.Variant, error) {
-	switch strings.ToLower(name) {
-	case "sc":
-		return invisifence.ConventionalVariant(invisifence.SC), nil
-	case "tso":
-		return invisifence.ConventionalVariant(invisifence.TSO), nil
-	case "rmo":
-		return invisifence.ConventionalVariant(invisifence.RMO), nil
-	case "invisi-sc":
-		return invisifence.SelectiveVariant(invisifence.SC), nil
-	case "invisi-tso":
-		return invisifence.SelectiveVariant(invisifence.TSO), nil
-	case "invisi-rmo":
-		return invisifence.SelectiveVariant(invisifence.RMO), nil
-	case "invisi-sc-2ckpt":
-		return invisifence.Selective2CkptVariant(invisifence.SC), nil
-	case "continuous":
-		return invisifence.ContinuousVariant(false), nil
-	case "continuous-cov":
-		return invisifence.ContinuousVariant(true), nil
-	case "aso":
-		return invisifence.ASOVariant(), nil
-	}
-	return invisifence.Variant{}, fmt.Errorf("unknown variant %q", name)
-}
-
 func main() {
 	wl := flag.String("workload", "apache", "workload: "+strings.Join(invisifence.Workloads(), ", "))
-	variant := flag.String("variant", "sc", "consistency implementation")
+	variant := flag.String("variant", "sc", "consistency implementation: "+strings.Join(invisifence.VariantNames(), ", "))
 	cores := flag.Int("cores", 16, "core count (must form a WxH torus: 1, 2, 4, 8, 16)")
 	seed := flag.Int64("seed", 1, "workload/jitter seed")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	flag.Parse()
 
-	v, err := variantByName(*variant)
+	v, err := invisifence.VariantByName(*variant)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

@@ -1,0 +1,170 @@
+// Command sweep runs a declarative parameter grid — workloads × variants ×
+// store-buffer depth × checkpoints × node count × seeds — on a bounded
+// worker pool, persisting every result to a content-addressed cache so
+// repeated sweeps (and overlapping ones) re-simulate nothing.
+//
+// The grid comes from a JSON spec file and/or flags (flags override the
+// file). Results go to stdout as a deterministic table; progress and cache
+// statistics go to stderr, so two runs of one spec emit byte-identical
+// stdout — the second entirely from cache.
+//
+// Usage:
+//
+//	sweep -variants sc,invisi-sc -seeds 1,2,3
+//	sweep -spec grid.json -parallel 8 -markdown
+//	sweep -workloads barnes -variants invisi-sc -sb 2,4,8,16 -scale 0.2
+//	sweep -variants invisi-sc -nodes 4,8,16        # scaling curve
+//
+// where grid.json looks like:
+//
+//	{"workloads": ["apache", "ocean"],
+//	 "variants": ["sc", "tso", "invisi-sc"],
+//	 "sb_depths": [0, 4, 16],
+//	 "seeds": [1, 2],
+//	 "scale": 0.5}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"invisifence"
+)
+
+func splitInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func splitInt64s(s string) ([]int64, error) {
+	ns, err := splitInts(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, n := range ns {
+		out = append(out, int64(n))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+func main() {
+	specPath := flag.String("spec", "", "JSON SweepSpec file (flags override its fields)")
+	wls := flag.String("workloads", "", "comma-separated workloads (default: all seven)")
+	variants := flag.String("variants", "", "comma-separated variants: "+strings.Join(invisifence.VariantNames(), ", "))
+	sb := flag.String("sb", "", "comma-separated store-buffer depths (0 = variant default)")
+	ckpts := flag.String("ckpts", "", "comma-separated checkpoint counts (0 = variant default)")
+	nodes := flag.String("nodes", "", "comma-separated node counts (each factored into the squarest torus)")
+	seeds := flag.String("seeds", "", "comma-separated seeds (default: 1)")
+	scale := flag.Float64("scale", 0, "workload size multiplier (default 1.0)")
+	maxCycles := flag.Uint64("maxcycles", 0, "per-run cycle bound (0 = runner default)")
+	parallel := flag.Int("parallel", 4, "concurrent simulations")
+	cacheDir := flag.String("cache", ".invisifence-cache", "persistent result cache directory (\"\" disables)")
+	markdown := flag.Bool("markdown", false, "emit a markdown table")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	dryRun := flag.Bool("n", false, "print the expanded job list and exit without simulating")
+	flag.Parse()
+
+	var spec invisifence.SweepSpec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *specPath, err))
+		}
+	}
+	if *wls != "" {
+		spec.Workloads = strings.Split(*wls, ",")
+	}
+	if *variants != "" {
+		spec.Variants = strings.Split(*variants, ",")
+	}
+	var err error
+	if *sb != "" {
+		if spec.SBDepths, err = splitInts(*sb); err != nil {
+			fatal(err)
+		}
+	}
+	if *ckpts != "" {
+		if spec.Checkpoints, err = splitInts(*ckpts); err != nil {
+			fatal(err)
+		}
+	}
+	if *nodes != "" {
+		if spec.Nodes, err = splitInts(*nodes); err != nil {
+			fatal(err)
+		}
+	}
+	if *seeds != "" {
+		if spec.Seeds, err = splitInt64s(*seeds); err != nil {
+			fatal(err)
+		}
+	}
+	if *scale != 0 {
+		spec.Scale = *scale
+	}
+	if *maxCycles != 0 {
+		spec.MaxCycles = *maxCycles
+	}
+
+	if *dryRun {
+		jobs, err := spec.Jobs()
+		if err != nil {
+			fatal(err)
+		}
+		for i, j := range jobs {
+			fmt.Printf("%4d  %-12s %-20s nodes=%d sb=%d seed=%d\n", i,
+				j.Workload, j.Variant.Name, j.Machine.Width*j.Machine.Height,
+				j.Variant.SBCapacity, j.Seed)
+		}
+		fmt.Fprintf(os.Stderr, "%d jobs\n", len(jobs))
+		return
+	}
+
+	opts := invisifence.SweepOptions{Parallel: *parallel, CacheDir: *cacheDir}
+	if !*quiet {
+		opts.Progress = func(done, total int, cfg invisifence.Config, cached bool) {
+			src := "ran"
+			if cached {
+				src = "hit"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s/%s seed=%d\n",
+				done, total, src, cfg.Workload, cfg.Variant.Name, cfg.Seed)
+		}
+	}
+	out, err := invisifence.Sweep(spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	t := out.Table()
+	if *markdown {
+		fmt.Println(t.Markdown())
+	} else {
+		fmt.Println(t.String())
+	}
+	fmt.Fprintf(os.Stderr, "%d runs, %d simulated, %s\n",
+		len(out.Runs), out.Simulated, out.CacheStats)
+}

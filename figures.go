@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"invisifence/internal/consistency"
+	"invisifence/internal/runcache"
 	"invisifence/internal/stats"
+	"invisifence/internal/sweep"
 	"invisifence/internal/workload"
 )
 
@@ -25,6 +27,10 @@ type ExpOptions struct {
 	// Parallel runs independent simulations on multiple OS threads (the
 	// simulations themselves stay single-threaded and deterministic).
 	Parallel int
+	// CacheDir roots the persistent result cache shared across
+	// processes; "" keeps results in memory only. Figures regenerated
+	// twice against the same cache directory re-simulate nothing.
+	CacheDir string
 }
 
 // DefaultExpOptions returns the options used for EXPERIMENTS.md.
@@ -52,24 +58,64 @@ func (o *ExpOptions) fill() {
 }
 
 // Campaign runs and memoizes simulations so that figures sharing
-// configurations (8, 9, 10) reuse results.
+// configurations (8, 9, 10) reuse results. It layers an in-process memo
+// (per workload/variant cell) over the persistent internal/runcache store,
+// so with a CacheDir set, results survive the process and a rerun of
+// AllFigures re-simulates nothing.
 type Campaign struct {
-	opts ExpOptions
+	opts     ExpOptions
+	pc       *runcache.Cache // persistent layer (memory-only if CacheDir == "")
+	cacheErr error           // why CacheDir could not be opened, if it couldn't
 
-	mu    sync.Mutex
-	cache map[string][]Result // key: workload/variant -> per-seed results
+	mu        sync.Mutex
+	cache     map[string][]Result // key: workload/variant -> per-seed results
+	simulated int
 }
 
-// NewCampaign creates a result cache for the given options.
+// NewCampaign creates a result cache for the given options. An unusable
+// CacheDir degrades to in-memory caching rather than failing; CacheErr
+// reports the degradation.
 func NewCampaign(opts ExpOptions) *Campaign {
 	opts.fill()
-	return &Campaign{opts: opts, cache: make(map[string][]Result)}
+	pc, err := runcache.Open(opts.CacheDir)
+	if err != nil {
+		pc, _ = runcache.Open("")
+	}
+	return &Campaign{opts: opts, pc: pc, cacheErr: err, cache: make(map[string][]Result)}
 }
 
 // Options returns the campaign's (filled-in) options.
 func (c *Campaign) Options() ExpOptions { return c.opts }
 
+// CacheErr reports why the configured CacheDir could not be opened; it is
+// nil when persistence is working (or was never requested). A campaign
+// with a non-nil CacheErr still runs, but caches in memory only.
+func (c *Campaign) CacheErr() error { return c.cacheErr }
+
+// CacheStats snapshots the persistent cache's traffic counters.
+func (c *Campaign) CacheStats() runcache.Stats { return c.pc.Stats() }
+
+// Simulated returns how many simulations this campaign actually executed
+// (cells served from the persistent cache don't count).
+func (c *Campaign) Simulated() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simulated
+}
+
 func key(wl string, v Variant) string { return wl + "/" + v.Name }
+
+// cellConfig assembles the full run configuration for one (workload,
+// variant, seed) cell; it is also the persistent cache key's content.
+func (c *Campaign) cellConfig(wl string, v Variant, seed int64) Config {
+	return Config{
+		Machine:  *c.opts.Machine,
+		Variant:  v,
+		Workload: wl,
+		Seed:     seed,
+		Scale:    c.opts.Scale,
+	}
+}
 
 // Results returns the per-seed results for one cell, running them if needed.
 func (c *Campaign) Results(wl string, v Variant) ([]Result, error) {
@@ -81,17 +127,19 @@ func (c *Campaign) Results(wl string, v Variant) ([]Result, error) {
 	c.mu.Unlock()
 	rs := make([]Result, len(c.opts.Seeds))
 	for i, seed := range c.opts.Seeds {
-		cfg := Config{
-			Machine:  *c.opts.Machine,
-			Variant:  v,
-			Workload: wl,
-			Seed:     seed,
-			Scale:    c.opts.Scale,
+		cfg := c.cellConfig(wl, v, seed)
+		ckey := resultKey(cfg)
+		if ok, _ := c.pc.Get(ckey, &rs[i]); ok {
+			continue
 		}
 		r, err := Run(cfg)
 		if err != nil {
 			return nil, err
 		}
+		_ = c.pc.Put(ckey, r) // best-effort; failure only costs a future re-run
+		c.mu.Lock()
+		c.simulated++
+		c.mu.Unlock()
 		rs[i] = r
 	}
 	c.mu.Lock()
@@ -100,7 +148,7 @@ func (c *Campaign) Results(wl string, v Variant) ([]Result, error) {
 	return rs, nil
 }
 
-// Prefetch runs all (workload, variant) cells, optionally in parallel.
+// Prefetch runs all (workload, variant) cells on a bounded worker pool.
 func (c *Campaign) Prefetch(variants []Variant) error {
 	type job struct {
 		wl string
@@ -112,26 +160,11 @@ func (c *Campaign) Prefetch(variants []Variant) error {
 			jobs = append(jobs, job{wl, v})
 		}
 	}
-	errs := make(chan error, len(jobs))
-	sem := make(chan struct{}, c.opts.Parallel)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := c.Results(j.wl, j.v); err != nil {
-				errs <- err
-			}
-		}(j)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
-	}
-	return nil
+	_, err := sweep.Run(jobs, sweep.Options{Workers: c.opts.Parallel}, func(j job) (struct{}, error) {
+		_, err := c.Results(j.wl, j.v)
+		return struct{}{}, err
+	})
+	return err
 }
 
 // meanCycles averages cycles across seeds.

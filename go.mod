@@ -1,0 +1,3 @@
+module invisifence
+
+go 1.22

@@ -1,0 +1,204 @@
+// Package runcache persists experiment results as content-addressed JSON.
+//
+// A Cache maps a canonical key — the SHA-256 of a versioned, deterministic
+// JSON encoding of the run's full configuration — to the JSON encoding of
+// its result. Entries live under dir/<k0k1>/<key>.json (sharded by the
+// first key byte) and are written atomically, so concurrent writers and
+// multiple processes can share one cache directory. A small in-memory
+// layer sits in front of the disk so repeated lookups within one process
+// never re-read files.
+//
+// The cache is strictly best-effort: a missing, unreadable, or corrupt
+// entry is reported as a miss (and counted in Stats.Errors), never as a
+// failure of the experiment itself.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// schemaVersion is folded into every key. Bump it whenever the meaning of
+// a cached payload changes (e.g. a simulator fix that alters results for
+// the same configuration), which invalidates all prior entries at once.
+const schemaVersion = "runcache/v1"
+
+// Key derives the canonical content-addressed key for a run from its
+// identifying parts (typically the full configuration plus a label such as
+// "result"). Parts are encoded with encoding/json, which is deterministic
+// for structs (declaration order) and maps (sorted keys), so the key is
+// stable across processes and machines. Parts must be JSON-encodable.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", schemaVersion)
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("runcache: encoding key part: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// MustKey is Key for parts known to be encodable (plain config structs);
+// it panics on encoding failure.
+func MustKey(parts ...any) string {
+	k, err := Key(parts...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Stats counts cache traffic since Open.
+type Stats struct {
+	// Hits is the number of Gets served from memory or disk.
+	Hits uint64
+	// MemHits is the subset of Hits served without touching disk.
+	MemHits uint64
+	// Misses is the number of Gets that found no entry.
+	Misses uint64
+	// Puts is the number of entries written.
+	Puts uint64
+	// Errors counts unreadable/corrupt entries and failed writes; these
+	// surface as misses or silently-skipped puts, never as run failures.
+	Errors uint64
+}
+
+// String renders the stats for CLI output.
+func (s Stats) String() string {
+	return fmt.Sprintf("cache: %d hits (%d in-memory), %d misses, %d puts, %d errors",
+		s.Hits, s.MemHits, s.Misses, s.Puts, s.Errors)
+}
+
+// Cache is a persistent, process-shared result store. The zero value is
+// not usable; call Open.
+type Cache struct {
+	dir string // "" = memory-only
+
+	mu    sync.Mutex
+	mem   map[string][]byte
+	stats Stats
+}
+
+// Open returns a cache rooted at dir, creating it if needed. An empty dir
+// yields a memory-only cache (useful for tests and one-shot runs).
+func Open(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runcache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// Dir returns the cache's root directory ("" for memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// path shards entries by the first key byte to keep directories small.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get looks up key and, when present, decodes the stored JSON into out.
+// It reports whether an entry was found. Corrupt entries count as misses.
+func (c *Cache) Get(key string, out any) (bool, error) {
+	c.mu.Lock()
+	data, inMem := c.mem[key]
+	c.mu.Unlock()
+	if !inMem {
+		if c.dir == "" {
+			c.count(func(s *Stats) { s.Misses++ })
+			return false, nil
+		}
+		b, err := os.ReadFile(c.path(key))
+		if err != nil {
+			if !os.IsNotExist(err) {
+				c.count(func(s *Stats) { s.Errors++ })
+			}
+			c.count(func(s *Stats) { s.Misses++ })
+			return false, nil
+		}
+		data = b
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		c.count(func(s *Stats) { s.Errors++; s.Misses++ })
+		return false, nil
+	}
+	c.count(func(s *Stats) {
+		s.Hits++
+		if inMem {
+			s.MemHits++
+		}
+	})
+	if !inMem {
+		c.mu.Lock()
+		c.mem[key] = data
+		c.mu.Unlock()
+	}
+	return true, nil
+}
+
+// Put stores v under key, replacing any prior entry. Disk writes are
+// atomic (temp file + rename) so readers never observe partial JSON.
+func (c *Cache) Put(key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		c.count(func(s *Stats) { s.Errors++ })
+		return fmt.Errorf("runcache: encoding entry: %w", err)
+	}
+	c.mu.Lock()
+	c.mem[key] = data
+	c.mu.Unlock()
+	if c.dir != "" {
+		if err := c.writeFile(key, data); err != nil {
+			c.count(func(s *Stats) { s.Errors++ })
+			return err
+		}
+	}
+	c.count(func(s *Stats) { s.Puts++ })
+	return nil
+}
+
+func (c *Cache) writeFile(key string, data []byte) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

@@ -1,0 +1,175 @@
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+type fakeResult struct {
+	Cycles  uint64
+	Retired uint64
+	Name    string
+	Splits  [4]uint64
+	Nested  struct{ A, B int }
+}
+
+type fakeConfig struct {
+	Workload string
+	Seed     int64
+	Knobs    map[string]int
+}
+
+func cfg() fakeConfig {
+	return fakeConfig{Workload: "apache", Seed: 3, Knobs: map[string]int{"sb": 8, "ckpt": 1}}
+}
+
+func TestKeyStability(t *testing.T) {
+	k1 := MustKey("result", cfg())
+	k2 := MustKey("result", cfg())
+	if k1 != k2 {
+		t.Fatalf("same input, different keys: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("want hex sha256, got %q", k1)
+	}
+	// Map key order must not matter (encoding/json sorts keys).
+	c := cfg()
+	c.Knobs = map[string]int{"ckpt": 1, "sb": 8}
+	if MustKey("result", c) != k1 {
+		t.Fatal("map insertion order changed the key")
+	}
+	// The key is pinned: it must be stable across processes, machines,
+	// and releases (a silent change would orphan every cached result).
+	const golden = "fce0f7586911c5f8376c85bdec5d0c95739964b24da91627fb89879d96490402"
+	if k1 != golden {
+		t.Fatalf("canonical key changed: got %s, want %s (bump schemaVersion if intentional)", k1, golden)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := MustKey("result", cfg())
+	c := cfg()
+	c.Seed = 4
+	if MustKey("result", c) == base {
+		t.Fatal("seed change did not change the key")
+	}
+	if MustKey("trace", cfg()) == base {
+		t.Fatal("label change did not change the key")
+	}
+	if MustKey("result", cfg(), "extra") == base {
+		t.Fatal("extra part did not change the key")
+	}
+}
+
+func TestKeyRejectsUnencodable(t *testing.T) {
+	if _, err := Key(func() {}); err == nil {
+		t.Fatal("expected error for unencodable part")
+	}
+}
+
+func TestRoundTripDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fakeResult{Cycles: 123456, Retired: 789, Name: "apache/sc", Splits: [4]uint64{1, 2, 3, 4}}
+	in.Nested.A, in.Nested.B = 7, 8
+	key := MustKey("result", cfg())
+
+	var out fakeResult
+	if ok, _ := c.Get(key, &out); ok {
+		t.Fatal("hit before put")
+	}
+	if err := c.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Get(key, &out); !ok {
+		t.Fatal("miss after put")
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mangled value: %+v vs %+v", in, out)
+	}
+
+	// A second cache over the same directory (a "new process") must hit.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = fakeResult{}
+	if ok, _ := c2.Get(key, &out); !ok {
+		t.Fatal("cross-process miss")
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("cross-process round trip mangled value: %+v", out)
+	}
+	s := c2.Stats()
+	if s.Hits != 1 || s.MemHits != 0 || s.Misses != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Repeat lookup is served from memory.
+	if ok, _ := c2.Get(key, &out); !ok {
+		t.Fatal("second miss")
+	}
+	if s := c2.Stats(); s.MemHits != 1 {
+		t.Fatalf("stats after repeat: %+v", s)
+	}
+}
+
+func TestMemoryOnly(t *testing.T) {
+	c, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := MustKey("k")
+	if err := c.Put(key, 42); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if ok, _ := c.Get(key, &n); !ok || n != 42 {
+		t.Fatalf("memory round trip: ok=%v n=%d", ok, n)
+	}
+	s := c.Stats()
+	if s.Puts != 1 || s.Hits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	key := MustKey("corrupt")
+	if err := c.Put(key, fakeResult{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Open(dir)
+	var out fakeResult
+	if ok, _ := c2.Get(key, &out); ok {
+		t.Fatal("corrupt entry reported as hit")
+	}
+	s := c2.Stats()
+	if s.Errors == 0 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	key := MustKey("k")
+	if err := c.Put(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, 2); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if ok, _ := c.Get(key, &n); !ok || n != 2 {
+		t.Fatalf("overwrite: ok=%v n=%d", ok, n)
+	}
+}

@@ -1,0 +1,178 @@
+// Package sweep expands declarative parameter grids into job lists and
+// executes them on a bounded worker pool with deterministic result
+// ordering.
+//
+// A Grid is an ordered list of named axes; Expand produces the full
+// cartesian product in row-major order (the last axis varies fastest), so
+// a grid expands to the same job sequence on every run. Run then maps an
+// arbitrary job slice through a worker function: results come back indexed
+// exactly like the input jobs regardless of worker count or completion
+// order, which keeps downstream tables byte-identical between a serial
+// debug run and a 32-way sweep.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Axis is one dimension of a parameter grid.
+type Axis struct {
+	// Name labels the axis ("workload", "seed", ...).
+	Name string
+	// Values are the points along the axis, in sweep order.
+	Values []any
+}
+
+// Grid is an ordered set of axes describing a cross-product of runs.
+type Grid struct {
+	Axes []Axis
+}
+
+// Size returns the number of points in the product (1 for an empty grid,
+// 0 if any axis is empty).
+func (g Grid) Size() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Point is one cell of an expanded grid.
+type Point struct {
+	// Index is the point's row-major position in the expansion.
+	Index int
+	// Values holds one value per axis, in axis order.
+	Values []any
+}
+
+// Value returns the point's value for the named axis, or nil.
+func (p Point) Value(g Grid, name string) any {
+	for i, a := range g.Axes {
+		if a.Name == name {
+			return p.Values[i]
+		}
+	}
+	return nil
+}
+
+// Expand enumerates the grid's cartesian product in row-major order: the
+// first axis varies slowest, the last fastest. The result is deterministic
+// for a given grid.
+func (g Grid) Expand() []Point {
+	n := g.Size()
+	if n == 0 {
+		return nil
+	}
+	points := make([]Point, n)
+	for i := 0; i < n; i++ {
+		vals := make([]any, len(g.Axes))
+		rem := i
+		for ax := len(g.Axes) - 1; ax >= 0; ax-- {
+			k := len(g.Axes[ax].Values)
+			vals[ax] = g.Axes[ax].Values[rem%k]
+			rem /= k
+		}
+		points[i] = Point{Index: i, Values: vals}
+	}
+	return points
+}
+
+// Progress reports pool state after each job completes.
+type Progress struct {
+	// Done and Total count completed vs scheduled jobs.
+	Done, Total int
+	// Index identifies the job that just finished.
+	Index int
+	// Err is that job's error, if any.
+	Err error
+}
+
+// Options configures Run.
+type Options struct {
+	// Workers bounds concurrency (values < 1 mean 1). Simulations stay
+	// single-threaded internally; the pool only parallelizes independent
+	// jobs.
+	Workers int
+	// OnProgress, when set, is called after each job completes. Calls
+	// are serialized (a slow callback stalls the pool) and Done is
+	// monotone, but completion order is nondeterministic; use the Index
+	// field, not call order.
+	OnProgress func(Progress)
+}
+
+// JobError wraps the first-by-index failure of a sweep.
+type JobError struct {
+	// Index is the failing job's position in the input slice.
+	Index int
+	// Err is the worker function's error.
+	Err error
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Run executes fn over jobs on a bounded worker pool and returns the
+// results in job order: results[i] is fn(jobs[i]) no matter how many
+// workers ran or in what order they finished. On failure, Run still waits
+// for in-flight jobs, skips unstarted ones, and returns the error of the
+// lowest-indexed failing job (again independent of scheduling), wrapped in
+// a *JobError.
+func Run[J, R any](jobs []J, opts Options, fn func(J) (R, error)) ([]R, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]R, len(jobs))
+	var (
+		next   atomic.Int64 // next job index to claim
+		failed atomic.Bool  // stop claiming new jobs after any failure
+
+		mu   sync.Mutex
+		done int
+		errs []*JobError
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				r, err := fn(jobs[i])
+				mu.Lock()
+				if err != nil {
+					failed.Store(true)
+					errs = append(errs, &JobError{Index: i, Err: err})
+				} else {
+					results[i] = r
+				}
+				done++
+				// The callback runs under mu so invocations are
+				// serialized and Done is monotone, as documented.
+				if opts.OnProgress != nil {
+					opts.OnProgress(Progress{Done: done, Total: len(jobs), Index: i, Err: err})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+		return nil, errs[0]
+	}
+	return results, nil
+}

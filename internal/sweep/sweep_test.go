@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func grid3x2() Grid {
+	return Grid{Axes: []Axis{
+		{Name: "workload", Values: []any{"a", "b", "c"}},
+		{Name: "seed", Values: []any{1, 2}},
+	}}
+}
+
+func TestGridSize(t *testing.T) {
+	if n := grid3x2().Size(); n != 6 {
+		t.Fatalf("size: %d", n)
+	}
+	if n := (Grid{}).Size(); n != 1 {
+		t.Fatalf("empty grid size: %d", n)
+	}
+	empty := Grid{Axes: []Axis{{Name: "x", Values: nil}}}
+	if n := empty.Size(); n != 0 {
+		t.Fatalf("empty axis size: %d", n)
+	}
+	if pts := empty.Expand(); pts != nil {
+		t.Fatalf("empty axis expand: %v", pts)
+	}
+}
+
+func TestGridExpandRowMajor(t *testing.T) {
+	pts := grid3x2().Expand()
+	want := [][]any{
+		{"a", 1}, {"a", 2},
+		{"b", 1}, {"b", 2},
+		{"c", 1}, {"c", 2},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("point count: %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has index %d", i, p.Index)
+		}
+		if !reflect.DeepEqual(p.Values, want[i]) {
+			t.Fatalf("point %d: %v, want %v", i, p.Values, want[i])
+		}
+	}
+	// Expansion is deterministic.
+	if !reflect.DeepEqual(grid3x2().Expand(), pts) {
+		t.Fatal("expansion not reproducible")
+	}
+}
+
+func TestPointValue(t *testing.T) {
+	g := grid3x2()
+	p := g.Expand()[3] // {"b", 2}
+	if v := p.Value(g, "workload"); v != "b" {
+		t.Fatalf("workload: %v", v)
+	}
+	if v := p.Value(g, "seed"); v != 2 {
+		t.Fatalf("seed: %v", v)
+	}
+	if v := p.Value(g, "nope"); v != nil {
+		t.Fatalf("unknown axis: %v", v)
+	}
+}
+
+// TestRunDeterministicOrder is the core worker-pool guarantee: the result
+// slice is ordered by job index no matter how many workers run or how the
+// scheduler interleaves them.
+func TestRunDeterministicOrder(t *testing.T) {
+	jobs := make([]int, 40)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	fn := func(j int) (string, error) {
+		// Earlier jobs sleep longer, so completion order inverts
+		// submission order under concurrency.
+		time.Sleep(time.Duration(len(jobs)-j) * 100 * time.Microsecond)
+		return fmt.Sprintf("r%d", j), nil
+	}
+	serial, err := Run(jobs, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		got, err := Run(jobs, Options{Workers: workers}, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d reordered results:\n%v\nvs serial\n%v", workers, got, serial)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	jobs := make([]int, 30)
+	_, err := Run(jobs, Options{Workers: 3}, func(int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("concurrency peaked at %d with 3 workers", p)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(jobs, Options{Workers: workers}, func(j int) (int, error) {
+			if j == 3 || j == 5 {
+				return 0, fmt.Errorf("job-%d: %w", j, boom)
+			}
+			return j, nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("want *JobError, got %T", err)
+		}
+		if je.Index != 3 {
+			t.Fatalf("workers=%d: first error index %d, want 3", workers, je.Index)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatal("Unwrap lost the cause")
+		}
+	}
+}
+
+func TestRunStopsSchedulingAfterError(t *testing.T) {
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	var started atomic.Int64
+	_, err := Run(jobs, Options{Workers: 2}, func(j int) (int, error) {
+		started.Add(1)
+		if j == 0 {
+			return 0, errors.New("early failure")
+		}
+		return j, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n > 10 {
+		t.Fatalf("pool kept scheduling after failure: %d jobs started", n)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	last := 0
+	jobs := []int{10, 20, 30, 40}
+	_, err := Run(jobs, Options{Workers: 2, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p.Total != 4 {
+			t.Errorf("total: %d", p.Total)
+		}
+		seen[p.Index] = true
+		last = p.Done
+	}}, func(j int) (int, error) { return j, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 || last != 4 {
+		t.Fatalf("progress coverage: %v, last done %d", seen, last)
+	}
+}
+
+func TestRunEmptyAndZeroWorkers(t *testing.T) {
+	got, err := Run(nil, Options{}, func(j int) (int, error) { return j, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err = Run([]int{7}, Options{Workers: -3}, func(j int) (int, error) { return j * 2, nil })
+	if err != nil || !reflect.DeepEqual(got, []int{14}) {
+		t.Fatalf("zero workers: %v %v", got, err)
+	}
+}

@@ -18,8 +18,13 @@
 //	cfg.Variant = invisifence.SelectiveVariant(invisifence.SC)
 //	res, err := invisifence.Run(cfg)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// results against the paper.
+// Grid experiments go through [Sweep] (or cmd/sweep), which expands a
+// declarative [SweepSpec] over a bounded worker pool and persists every
+// result to a content-addressed cache, so overlapping experiments across
+// processes and tools simulate each configuration exactly once.
+//
+// See README.md for the repository layout, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for measured results against the paper.
 package invisifence
 
 import (
