@@ -233,3 +233,39 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(res.Cycles), "simcycles")
 	}
 }
+
+// ---------------------------------------------------------------------
+// Simulator-core performance benchmarks (the cmd/bench reference grid).
+// These track host-side cost — ns/run, simulated cycles per host second,
+// allocations — not simulated outcomes; BENCH_<n>.json files record the
+// trajectory across PRs.
+// ---------------------------------------------------------------------
+
+// BenchmarkSimCore runs the reference grid: every paper workload under
+// conventional SC and INVISIFENCE-SELECTIVE-SC at reduced scale.
+func BenchmarkSimCore(b *testing.B) {
+	for _, wl := range Workloads() {
+		for _, v := range []Variant{ConventionalVariant(SC), SelectiveVariant(SC)} {
+			b.Run(wl+"/"+v.Name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := benchRun(b, benchConfig(wl, v, 0.25))
+					b.ReportMetric(float64(res.Cycles)/b.Elapsed().Seconds()*float64(b.N), "simcycles/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimCoreLockstep is the apache/SC reference cell with the
+// event-horizon scheduler disabled: the denominator for the idle-skip
+// speedup (cmd/bench reports the ratio).
+func BenchmarkSimCoreLockstep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig("apache", ConventionalVariant(SC), 0.25)
+		cfg.DisableIdleSkip = true
+		res := benchRun(b, cfg)
+		b.ReportMetric(float64(res.Cycles), "simcycles")
+	}
+}

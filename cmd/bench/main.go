@@ -1,0 +1,232 @@
+// Command bench measures the simulator core's wall-clock performance on the
+// reference grid — the seven paper workloads under conventional SC and
+// INVISIFENCE-SELECTIVE-SC — and records the trajectory as a BENCH_<n>.json
+// file, so every PR that touches the core leaves a measured data point
+// behind.
+//
+// For the reference apache/SC cell it additionally re-runs the simulation
+// with the event-horizon scheduler disabled (the pre-refactor lock-step
+// loop) and reports the speedup, which is the number the performance
+// acceptance gate tracks. Simulated results are bit-identical between the
+// two loops (see TestGoldenResults / TestIdleSkipBitExact); only wall-clock
+// differs.
+//
+// Usage:
+//
+//	bench                 # full grid at scale 1.0, 3 iterations per cell
+//	bench -quick          # CI smoke: scale 0.25, 1 iteration
+//	bench -out results/   # write BENCH_<n>.json into a directory
+//	bench -workloads apache,ocean -variants sc -iters 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"invisifence"
+)
+
+// benchRun is one measured grid cell.
+type benchRun struct {
+	Workload     string  `json:"workload"`
+	Variant      string  `json:"variant"`
+	Scale        float64 `json:"scale"`
+	Iters        int     `json:"iters"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	Retired      uint64  `json:"retired"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	BytesPerRun  uint64  `json:"bytes_per_run"`
+}
+
+// reference pins the apache/SC speedup measurements: against the lock-step
+// loop in this binary (isolating the event-horizon scheduler), and — when
+// -prerefactor-ns supplies a measurement of the seed core on the same host
+// — against the pre-refactor implementation as a whole.
+type reference struct {
+	Workload           string  `json:"workload"`
+	Variant            string  `json:"variant"`
+	Scale              float64 `json:"scale"`
+	OptimizedNs        int64   `json:"optimized_ns"`
+	LockstepNs         int64   `json:"lockstep_ns"`
+	LockstepSpeedup    float64 `json:"lockstep_speedup"`
+	PreRefactorNs      int64   `json:"prerefactor_ns,omitempty"`
+	PreRefactorSpeedup float64 `json:"prerefactor_speedup,omitempty"`
+}
+
+// benchFile is the BENCH_<n>.json schema.
+type benchFile struct {
+	Schema    string     `json:"schema"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	Quick     bool       `json:"quick"`
+	Runs      []benchRun `json:"runs"`
+	Reference *reference `json:"reference,omitempty"`
+}
+
+func measure(cfg invisifence.Config, iters int) (benchRun, error) {
+	var ms0, ms1 runtime.MemStats
+	var res invisifence.Result
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		var err error
+		res, err = invisifence.Run(cfg)
+		if err != nil {
+			return benchRun{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	ns := elapsed.Nanoseconds() / int64(iters)
+	r := benchRun{
+		Workload:     cfg.Workload,
+		Variant:      cfg.Variant.Name,
+		Scale:        cfg.Scale,
+		Iters:        iters,
+		SimCycles:    res.Cycles,
+		Retired:      res.Retired,
+		NsPerRun:     ns,
+		AllocsPerRun: (ms1.Mallocs - ms0.Mallocs) / uint64(iters),
+		BytesPerRun:  (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters),
+	}
+	if ns > 0 {
+		r.CyclesPerSec = float64(res.Cycles) / (float64(ns) / 1e9)
+	}
+	return r, nil
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest unused n >= 1.
+func nextBenchPath(dir string) string {
+	for n := 1; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p
+		}
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "CI smoke mode: scale 0.25, one iteration per cell")
+	iters := flag.Int("iters", 0, "iterations per cell (0 = 3, or 1 with -quick)")
+	scale := flag.Float64("scale", 0, "workload scale (0 = 1.0, or 0.25 with -quick)")
+	out := flag.String("out", "", "output path or directory (default: next free ./BENCH_<n>.json)")
+	workloads := flag.String("workloads", "", "comma-separated workloads (default: all seven)")
+	variants := flag.String("variants", "sc,invisi-sc", "comma-separated variant names")
+	noRef := flag.Bool("no-reference", false, "skip the apache/SC lock-step speedup measurement")
+	preNs := flag.Int64("prerefactor-ns", 0, "measured ns/run of the pre-refactor (seed) core for apache/SC at the same scale on this host; recorded for the trajectory")
+	flag.Parse()
+
+	if *iters == 0 {
+		if *quick {
+			*iters = 1
+		} else {
+			*iters = 3
+		}
+	}
+	if *scale == 0 {
+		if *quick {
+			*scale = 0.25
+		} else {
+			*scale = 1.0
+		}
+	}
+	wls := invisifence.Workloads()
+	if *workloads != "" {
+		wls = strings.Split(*workloads, ",")
+	}
+	vns := strings.Split(*variants, ",")
+
+	file := benchFile{
+		Schema:    "invisifence-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Quick:     *quick,
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	for _, wl := range wls {
+		for _, vn := range vns {
+			v, err := invisifence.VariantByName(strings.TrimSpace(vn))
+			if err != nil {
+				fail(err)
+			}
+			cfg := invisifence.DefaultConfig()
+			cfg.Workload = strings.TrimSpace(wl)
+			cfg.Variant = v
+			cfg.Scale = *scale
+			r, err := measure(cfg, *iters)
+			if err != nil {
+				fail(err)
+			}
+			file.Runs = append(file.Runs, r)
+			fmt.Fprintf(os.Stderr, "%-12s %-12s %9d cycles  %12d ns/run  %10.0f cycles/s  %8d allocs\n",
+				r.Workload, r.Variant, r.SimCycles, r.NsPerRun, r.CyclesPerSec, r.AllocsPerRun)
+		}
+	}
+
+	if !*noRef {
+		cfg := invisifence.DefaultConfig()
+		cfg.Workload = "apache"
+		cfg.Scale = *scale
+		opt, err := measure(cfg, *iters)
+		if err != nil {
+			fail(err)
+		}
+		cfg.DisableIdleSkip = true
+		lock, err := measure(cfg, *iters)
+		if err != nil {
+			fail(err)
+		}
+		file.Reference = &reference{
+			Workload:        "apache",
+			Variant:         cfg.Variant.Name,
+			Scale:           *scale,
+			OptimizedNs:     opt.NsPerRun,
+			LockstepNs:      lock.NsPerRun,
+			LockstepSpeedup: float64(lock.NsPerRun) / float64(opt.NsPerRun),
+		}
+		if *preNs > 0 {
+			file.Reference.PreRefactorNs = *preNs
+			file.Reference.PreRefactorSpeedup = float64(*preNs) / float64(opt.NsPerRun)
+		}
+		fmt.Fprintf(os.Stderr, "reference apache/%s: optimized %d ns, lock-step %d ns (%.2fx)",
+			cfg.Variant.Name, opt.NsPerRun, lock.NsPerRun, file.Reference.LockstepSpeedup)
+		if *preNs > 0 {
+			fmt.Fprintf(os.Stderr, ", pre-refactor %d ns (%.2fx)", *preNs, file.Reference.PreRefactorSpeedup)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	path := *out
+	switch {
+	case path == "":
+		path = nextBenchPath(".")
+	default:
+		if st, err := os.Stat(path); err == nil && st.IsDir() {
+			path = nextBenchPath(path)
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println(path)
+}

@@ -123,6 +123,16 @@ type Cache struct {
 	setMask  uint64
 	lruClock uint64
 
+	// touched[epoch] lists lines that may carry that epoch's speculative
+	// bits: every false->true bit transition goes through MarkSpecRead/
+	// MarkSpecWritten, which appends the line on its first marking. The
+	// flash operations then visit only these lines instead of walking the
+	// whole cache per commit/abort. Entries may be stale (bits since
+	// cleared by an invalidation) or duplicated (re-marked after an
+	// invalidation); both are harmless because the flash operations
+	// re-check the bits.
+	touched [MaxEpochs][]*Line
+
 	// Stats.
 	Hits, Misses, Evictions, Writebacks uint64
 }
@@ -262,15 +272,38 @@ func (c *Cache) Invalidate(a memtypes.Addr) (Line, bool) {
 	return old, true
 }
 
-// FlashClearSpec clears the given epoch's speculative bits on every line:
-// the paper's single-cycle commit operation.
-func (c *Cache) FlashClearSpec(epoch int) {
-	for s := range c.sets {
-		set := c.sets[s]
-		for i := range set {
-			set[i].clearSpec(epoch)
+// MarkSpecRead sets the epoch's speculatively-read bit on a line obtained
+// from this cache, registering the line for O(touched) flash operations.
+func (c *Cache) MarkSpecRead(l *Line, epoch int) {
+	if !l.SpecRead[epoch] {
+		if !l.SpecWritten[epoch] {
+			c.touched[epoch] = append(c.touched[epoch], l)
 		}
+		l.SpecRead[epoch] = true
 	}
+}
+
+// MarkSpecWritten sets the epoch's speculatively-written bit on a line
+// obtained from this cache, registering the line for flash operations.
+func (c *Cache) MarkSpecWritten(l *Line, epoch int) {
+	if !l.SpecWritten[epoch] {
+		if !l.SpecRead[epoch] {
+			c.touched[epoch] = append(c.touched[epoch], l)
+		}
+		l.SpecWritten[epoch] = true
+	}
+}
+
+// FlashClearSpec clears the given epoch's speculative bits on every line:
+// the paper's single-cycle commit operation. Only lines the epoch actually
+// marked are visited (the hardware flash-clears a column of SRAM cells in
+// one cycle; the model must not pay a full cache walk per commit).
+func (c *Cache) FlashClearSpec(epoch int) {
+	for _, l := range c.touched[epoch] {
+		l.clearSpec(epoch)
+	}
+	clear(c.touched[epoch])
+	c.touched[epoch] = c.touched[epoch][:0]
 }
 
 // ConditionalInvalidate invalidates every line whose speculatively-written
@@ -281,17 +314,15 @@ func (c *Cache) FlashClearSpec(epoch int) {
 // the cleaning-writeback rule (§3.2).
 func (c *Cache) ConditionalInvalidate(epoch int) int {
 	n := 0
-	for s := range c.sets {
-		set := c.sets[s]
-		for i := range set {
-			l := &set[i]
-			if l.SpecWritten[epoch] && l.State.Valid() {
-				l.State = Invalid
-				n++
-			}
-			l.clearSpec(epoch)
+	for _, l := range c.touched[epoch] {
+		if l.SpecWritten[epoch] && l.State.Valid() {
+			l.State = Invalid
+			n++
 		}
+		l.clearSpec(epoch)
 	}
+	clear(c.touched[epoch])
+	c.touched[epoch] = c.touched[epoch][:0]
 	return n
 }
 

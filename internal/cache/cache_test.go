@@ -64,14 +64,14 @@ func TestVictimPrefersNonSpec(t *testing.T) {
 	v = c.Victim(a1, false)
 	c.Install(v, a1, memtypes.BlockData{}, Modified)
 	// Mark the LRU line speculative: the other must be chosen.
-	c.Peek(a0).SpecWritten[0] = true
+	c.MarkSpecWritten(c.Peek(a0), 0)
 	c.Lookup(a1) // make a1 MRU; a0 is LRU but speculative
 	v = c.Victim(2*setStride, false)
 	if v == nil || v.Addr != a1 {
 		t.Fatalf("victim should avoid speculative LRU line")
 	}
 	// With both speculative and allowSpec=false: no victim.
-	c.Peek(a1).SpecRead[1] = true
+	c.MarkSpecRead(c.Peek(a1), 1)
 	if c.Victim(2*setStride, false) != nil {
 		t.Fatal("victim offered despite all-speculative set")
 	}
@@ -102,8 +102,12 @@ func TestFlashClearSpec(t *testing.T) {
 		v := c.Victim(a, false)
 		c.Install(v, a, memtypes.BlockData{}, Exclusive)
 		l := c.Peek(a)
-		l.SpecRead[0] = i%2 == 0
-		l.SpecWritten[1] = i%3 == 0
+		if i%2 == 0 {
+			c.MarkSpecRead(l, 0)
+		}
+		if i%3 == 0 {
+			c.MarkSpecWritten(l, 1)
+		}
 	}
 	c.FlashClearSpec(0)
 	if c.SpecLineCount(0) != 0 {
@@ -123,9 +127,9 @@ func TestConditionalInvalidate(t *testing.T) {
 		v := c.Victim(a, false)
 		c.Install(v, a, memtypes.BlockData{}, Exclusive)
 	}
-	c.Peek(aW).SpecWritten[0] = true
+	c.MarkSpecWritten(c.Peek(aW), 0)
 	c.Peek(aW).State = Modified
-	c.Peek(aR).SpecRead[0] = true
+	c.MarkSpecRead(c.Peek(aR), 0)
 	n := c.ConditionalInvalidate(0)
 	if n != 1 {
 		t.Fatalf("invalidated %d lines, want 1", n)

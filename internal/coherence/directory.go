@@ -236,6 +236,26 @@ func (d *Directory) Tick(now uint64) {
 	d.active = live
 }
 
+// NextEvent returns the earliest future cycle at which an in-flight
+// transaction advances on its own: a memory access completing. This is also
+// the memory controller's contribution to the idle-skip horizon, because
+// access completion times are scheduled into transactions at request time
+// (see memctrl.Memory.NextEvent). Ack- and owner-driven transitions are
+// external (message) events and contribute nothing here.
+func (d *Directory) NextEvent(now uint64) uint64 {
+	next := uint64(memtypes.NoEvent)
+	for _, e := range d.active {
+		t := e.cur
+		if t == nil {
+			continue
+		}
+		if t.phase == phaseWaitMem {
+			next = min(next, max(now+1, t.memReady))
+		}
+	}
+	return next
+}
+
 // tickTxn completes a transaction whose remaining work (memory latency) is
 // done. Transitions driven by messages are handled in the message handlers.
 func (d *Directory) tickTxn(a memtypes.Addr, e *entry) {

@@ -83,7 +83,9 @@ type Rules struct {
 	FenceNeedsDrain bool
 }
 
-var ruleTable = map[Model]Rules{
+// ruleTable is indexed by Model: RulesFor sits on the simulator's
+// per-retirement hot path, so the lookup must not hash.
+var ruleTable = [...]Rules{
 	SC: {
 		Model:                SC,
 		Relaxations:          "none",
@@ -114,9 +116,8 @@ var ruleTable = map[Model]Rules{
 
 // RulesFor returns the Figure 2 row for a model.
 func RulesFor(m Model) Rules {
-	r, ok := ruleTable[m]
-	if !ok {
+	if int(m) >= len(ruleTable) {
 		panic(fmt.Sprintf("consistency: unknown model %v", m))
 	}
-	return r
+	return ruleTable[m]
 }

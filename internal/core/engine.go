@@ -320,6 +320,35 @@ func (e *Engine) Tick() {
 	}
 }
 
+// NextEvent returns the earliest future cycle at which the engine's
+// per-cycle policy work (Tick) would change state on its own: an
+// opportunistic commit whose drain condition already holds, or a continuous
+// chunk open/close whose trigger is already satisfied. Everything else the
+// engine does is driven by retirements, probes, and store-buffer drains —
+// events owned by other components.
+func (e *Engine) NextEvent(now uint64) uint64 {
+	if len(e.order) > 0 {
+		o := e.order[0]
+		if (e.cfg.Mode != ModeContinuous || e.epochs[o].closed) && e.host.SBEpochDrained(o) {
+			return now + 1
+		}
+	}
+	if e.cfg.Mode == ModeContinuous {
+		if !e.Speculating() {
+			if e.CanBegin() {
+				return now + 1
+			}
+		} else {
+			ep := &e.epochs[e.YoungestEpoch()]
+			if !ep.closed && (ep.retired >= e.cfg.MinChunk || e.earlyClose) &&
+				len(e.order) < e.cfg.MaxCheckpoints && !e.graceNeeded {
+				return now + 1
+			}
+		}
+	}
+	return memtypes.NoEvent
+}
+
 func (e *Engine) commitEpoch(epoch int) {
 	e.host.FlashClearSpecBits(epoch)
 	e.host.Stats().CommitEpoch(epoch)

@@ -196,6 +196,17 @@ type Core struct {
 	storeQ []int
 	execQ  []int
 
+	// dispQ holds exactly the not-yet-issued (sDispatched) slots in program
+	// order, so the issue scan touches only candidate entries instead of
+	// walking the whole ROB every cycle. Entries are appended at dispatch,
+	// removed the moment they leave sDispatched (issue, head retirement of
+	// Halt/Fence, squash rebuild).
+	dispQ []int
+	// issueScratch is the reusable per-cycle snapshot the issue scan
+	// iterates, so mid-scan squashes (which rebuild dispQ) cannot invalidate
+	// the iteration.
+	issueScratch []int
+
 	pred     []uint8 // bimodal 2-bit counters
 	predMask uint32
 
@@ -257,6 +268,15 @@ func (c *Core) slotAge(slot int) int {
 }
 
 func (c *Core) older(a, b int) bool { return c.slotAge(a) < c.slotAge(b) }
+
+// SyncNow re-aligns the core's internal clock before the node processes
+// incoming messages. Message-driven paths (FillLoad completions, SnoopBlock
+// replays, FlushAll aborts) read c.now before Tick runs; the lock-step loop
+// guarantees it then equals the previous cycle, and redirect penalties are
+// anchored to it. After an idle-skip jump the last ticked cycle may be
+// several cycles back, so the node re-anchors explicitly to keep both loops
+// bit-identical.
+func (c *Core) SyncNow(now uint64) { c.now = now }
 
 // Tick advances the core one cycle: complete, retire, issue, fetch.
 func (c *Core) Tick(now uint64) {
@@ -399,6 +419,12 @@ func (c *Core) commitEntry(e *robEntry) {
 	if len(c.storeQ) > 0 && c.storeQ[0] == slot {
 		c.storeQ = c.storeQ[1:]
 	}
+	// Halt and Fence can retire straight out of sDispatched (retirement
+	// policy handles them at the head before issue ever sees them); the slot
+	// is the oldest instruction, so if it is still queued it is dispQ[0].
+	if len(c.dispQ) > 0 && c.dispQ[0] == slot {
+		c.dispQ = c.dispQ[1:]
+	}
 	c.pc = e.predNext // committed successor (mispredicts were squashed at execute)
 	e.used = false
 	c.head = (c.head + 1) % c.cfg.ROBSize
@@ -411,6 +437,9 @@ func (c *Core) commitEntry(e *robEntry) {
 // ----------------------------------------------------------------- issue
 
 func (c *Core) issue() {
+	if len(c.dispQ) == 0 {
+		return
+	}
 	issued := 0
 	memIssued := 0
 	window := c.cfg.IssueWindow
@@ -418,10 +447,18 @@ func (c *Core) issue() {
 		window = c.cfg.ROBSize
 	}
 	examined := 0
-	for i, s := 0, c.head; i < c.count && issued < c.cfg.IssueWidth && examined < window; i, s = i+1, (s+1)%c.cfg.ROBSize {
+	// Iterate a snapshot: mid-scan squashes (replays, mispredicts) rebuild
+	// dispQ, but squashed slots cannot be reused until fetch runs, so stale
+	// snapshot entries are safely skipped by the used/state check.
+	scratch := append(c.issueScratch[:0], c.dispQ...)
+	c.issueScratch = scratch
+	for _, s := range scratch {
 		e := &c.rob[s]
-		if e.state != sDispatched {
-			continue
+		if !e.used || e.state != sDispatched {
+			continue // squashed during this scan
+		}
+		if issued >= c.cfg.IssueWidth || examined >= window {
+			break
 		}
 		examined++
 		if !c.operandsReady(e) {
@@ -433,6 +470,7 @@ func (c *Core) issue() {
 			// No execution; retirement policy handles them at the head.
 			e.state = sDone
 			e.doneAt = c.now
+			c.removeDisp(s)
 		case in.Op.IsLoad():
 			if memIssued >= c.cfg.MemPorts {
 				continue
@@ -441,6 +479,9 @@ func (c *Core) issue() {
 				memIssued++
 				issued++
 			}
+			if e.state != sDispatched {
+				c.removeDisp(s)
+			}
 		case in.Op.IsStore():
 			e.addr = memtypes.WordAlign(memtypes.Addr(e.opVal[0]) + memtypes.Addr(in.Imm))
 			e.addrOK = true
@@ -448,6 +489,7 @@ func (c *Core) issue() {
 			e.state = sDone
 			e.doneAt = c.now
 			issued++
+			c.removeDisp(s)
 			c.checkStoreConflicts(s, e)
 		case in.Op.IsAtomic():
 			// Address generation only; the RMW happens at retirement.
@@ -456,8 +498,10 @@ func (c *Core) issue() {
 			e.state = sIssued
 			e.doneAt = c.now
 			issued++
+			c.removeDisp(s)
 			c.checkStoreConflicts(s, e)
 		case in.Op.IsBranch():
+			c.removeDisp(s)
 			mispredicted := c.executeBranch(s, e)
 			issued++
 			if mispredicted {
@@ -470,6 +514,18 @@ func (c *Core) issue() {
 			e.doneAt = c.now + in.Op.Latency(in.Imm)
 			c.queueExec(s)
 			issued++
+			c.removeDisp(s)
+		}
+	}
+}
+
+// removeDisp removes a slot from the dispatched queue the moment it leaves
+// sDispatched. Issued slots sit near the front, so the scan is short.
+func (c *Core) removeDisp(slot int) {
+	for i, s := range c.dispQ {
+		if s == slot {
+			c.dispQ = append(c.dispQ[:i], c.dispQ[i+1:]...)
+			return
 		}
 	}
 }
@@ -736,6 +792,7 @@ func (c *Core) dispatch(pc int, in isa.Instr, predNext int) {
 	} else if in.Op.IsStore() || in.Op.IsAtomic() {
 		c.storeQ = append(c.storeQ, slot)
 	}
+	c.dispQ = append(c.dispQ, slot)
 	c.tail = (c.tail + 1) % c.cfg.ROBSize
 	c.count++
 }
@@ -794,6 +851,7 @@ func (c *Core) rebuildRename() {
 	c.loadQ = c.loadQ[:0]
 	c.storeQ = c.storeQ[:0]
 	c.execQ = c.execQ[:0]
+	c.dispQ = c.dispQ[:0]
 	for i, s := 0, c.head; i < c.count; i, s = i+1, (s+1)%c.cfg.ROBSize {
 		e := &c.rob[s]
 		if e.in.Op.WritesRd() && e.in.Rd != isa.R0 {
@@ -806,6 +864,9 @@ func (c *Core) rebuildRename() {
 		}
 		if e.state == sIssued && !e.in.Op.IsAtomic() && !e.pendFill {
 			c.execQ = append(c.execQ, s)
+		}
+		if e.state == sDispatched {
+			c.dispQ = append(c.dispQ, s)
 		}
 	}
 }
@@ -845,6 +906,182 @@ func (c *Core) SnoopBlock(block memtypes.Addr) bool {
 		}
 	}
 	return false
+}
+
+// --------------------------------------------------------- event horizon
+
+// NextEvent returns the earliest future cycle at which this core might make
+// progress on its own — complete an execution, issue a newly-ready
+// instruction, or fetch — or memtypes.NoEvent when the core is provably
+// blocked until an external input (a load fill) arrives. Retirement at the
+// ROB head is deliberately excluded: whether a retirement-ready head
+// actually advances depends on the memory backend's consistency policy, so
+// the node folds HeadState into its own horizon. The hint must never be
+// late: if the core would change state at cycle T, the returned value must
+// be <= T. Early hints only cost a wasted tick.
+//
+// The method is read-only; in particular it never captures operands (the
+// issue path does that), so calling it cannot perturb the simulation.
+func (c *Core) NextEvent() uint64 {
+	if c.halted {
+		return memtypes.NoEvent
+	}
+	next := uint64(memtypes.NoEvent)
+	// Fetch: possible whenever there is ROB room and a valid fetch PC.
+	// (A wrong-path PC past the program end fetches nothing; SkipCycles
+	// replicates its per-cycle counter.)
+	if !c.fetchedHalt && c.count < c.cfg.ROBSize && c.fetchPC >= 0 && c.fetchPC < len(c.prog.Instrs) {
+		next = min(next, max(c.now+1, c.stallTil))
+	}
+	// Execution completions promote entries to sDone.
+	for _, s := range c.execQ {
+		e := &c.rob[s]
+		if e.used && e.state == sIssued && !e.pendFill {
+			next = min(next, max(c.now+1, e.doneAt))
+		}
+	}
+	// Dispatched entries become issueable when their operands arrive. Only
+	// the first IssueWindow queue entries can be examined by the scan, so
+	// later ones cannot generate an event before the queue moves.
+	window := c.cfg.IssueWindow
+	if window <= 0 {
+		window = c.cfg.ROBSize
+	}
+	for i, s := range c.dispQ {
+		if i >= window {
+			break
+		}
+		next = min(next, c.issueEvent(&c.rob[s]))
+	}
+	return next
+}
+
+// HeadState is a read-only snapshot of the ROB head, exposed so the node
+// can fold retirement-policy knowledge (which lives in the backend) into
+// its idle-skip horizon.
+type HeadState struct {
+	Valid  bool // ROB non-empty and core running
+	Op     isa.Op
+	Addr   memtypes.Addr // meaningful when AddrOK (loads/stores/atomics)
+	AddrOK bool
+	// Ready reports that the retirement policy will be invoked for the head
+	// next cycle. ReadyAt is the earliest cycle that could happen
+	// (memtypes.NoEvent: only after an external event such as a fill).
+	Ready   bool
+	ReadyAt uint64
+}
+
+// HeadState returns the retirement snapshot of the ROB head.
+func (c *Core) HeadState() HeadState {
+	if c.halted || c.count == 0 {
+		return HeadState{}
+	}
+	e := &c.rob[c.head]
+	hs := HeadState{Valid: true, Op: e.in.Op, Addr: e.addr, AddrOK: e.addrOK}
+	switch {
+	case e.in.Op == isa.Halt || e.in.Op == isa.Fence:
+		hs.Ready = true
+		hs.ReadyAt = c.now + 1
+	case e.in.Op.IsAtomic():
+		hs.ReadyAt = c.retireAtomicEvent(e)
+		hs.Ready = hs.ReadyAt == c.now+1
+	default:
+		switch {
+		case e.pendFill:
+			hs.ReadyAt = memtypes.NoEvent
+		case e.state == sDone || e.state == sIssued:
+			hs.ReadyAt = max(c.now+1, e.doneAt)
+			hs.Ready = hs.ReadyAt == c.now+1
+		default:
+			// Not issued yet; the dispatch-queue scan owns this event.
+			hs.ReadyAt = memtypes.NoEvent
+		}
+	}
+	return hs
+}
+
+// operandReadyAt returns the earliest cycle operand k of e could bind
+// (c.now+1 if it is ready now), or NoEvent if binding needs an external
+// event (a fill, or an atomic producer's retirement).
+func (c *Core) operandReadyAt(e *robEntry, k int) uint64 {
+	if e.opOK[k] {
+		return c.now + 1
+	}
+	p := e.srcRef[k]
+	if p < 0 {
+		return c.now + 1
+	}
+	pe := &c.rob[p]
+	if !pe.used || pe.seq != e.srcSeq[k] {
+		return c.now + 1 // producer retired: architectural file has it
+	}
+	switch {
+	case pe.state == sDone:
+		return max(c.now+1, pe.doneAt)
+	case pe.state == sIssued && !pe.pendFill && !pe.in.Op.IsAtomic():
+		// Will be promoted to sDone at doneAt, before issue runs that cycle.
+		return max(c.now+1, pe.doneAt)
+	}
+	return memtypes.NoEvent
+}
+
+// issueEvent returns the earliest cycle the dispatched entry could pass
+// operandsReady, mirroring its per-class requirements read-only.
+func (c *Core) issueEvent(e *robEntry) uint64 {
+	if e.in.Op.IsLoad() || e.in.Op.IsAtomic() {
+		return c.operandReadyAt(e, 0) // address generation needs rs1 only
+	}
+	t := c.now + 1
+	for k := 0; k < 3; k++ {
+		tk := c.operandReadyAt(e, k)
+		if tk == memtypes.NoEvent {
+			return memtypes.NoEvent
+		}
+		t = max(t, tk)
+	}
+	return t
+}
+
+// retireAtomicEvent returns the earliest cycle an atomic at the head could
+// pass its retirement readiness check (address generated, data operands
+// bound), after which the backend is probed every cycle.
+func (c *Core) retireAtomicEvent(e *robEntry) uint64 {
+	if !e.addrOK {
+		return memtypes.NoEvent // not issued yet; the dispQ scan covers it
+	}
+	t := c.operandReadyAt(e, 1)
+	if t == memtypes.NoEvent {
+		return memtypes.NoEvent
+	}
+	if e.in.Op == isa.Cas {
+		t2 := c.operandReadyAt(e, 2)
+		if t2 == memtypes.NoEvent {
+			return memtypes.NoEvent
+		}
+		t = max(t, t2)
+	}
+	return t
+}
+
+// SkipCycles replicates the per-cycle effects of k externally-idle cycles
+// the simulator fast-forwarded past (cycles c.now+1 .. c.now+k). The core's
+// state is frozen during a skip by construction; the only per-cycle effect
+// is the wrong-path fetch counter, which increments while fetch is unstalled
+// with a PC past the program end.
+func (c *Core) SkipCycles(k uint64) {
+	if c.halted || c.fetchedHalt || c.count >= c.cfg.ROBSize {
+		return
+	}
+	if c.fetchPC >= 0 && c.fetchPC < len(c.prog.Instrs) {
+		return // would have fetched; the scheduler never skips this state
+	}
+	first := c.now + 1
+	if c.stallTil > first {
+		first = c.stallTil
+	}
+	if last := c.now + k; last >= first {
+		c.FetchedWrongPath += last - first + 1
+	}
 }
 
 // ------------------------------------------------------------ predictor

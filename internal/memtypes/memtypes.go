@@ -28,6 +28,14 @@ const (
 // BlockData holds the data payload of one cache block.
 type BlockData [WordsPerBlock]Word
 
+// NoEvent is the NextEvent() sentinel meaning "no self-generated future
+// event": the component changes state only in response to an external input
+// (a message delivery, a fill, a retirement on another component). The
+// simulator's idle-skip scheduler jumps the clock to the minimum NextEvent
+// across all components; a component returning NoEvent never holds the
+// clock back.
+const NoEvent = ^uint64(0)
+
 // BlockAddr returns the block-aligned address containing a.
 func BlockAddr(a Addr) Addr { return a &^ (BlockBytes - 1) }
 

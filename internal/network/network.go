@@ -6,12 +6,17 @@
 // The model captures latency and ordering, not link contention: Figure 6's
 // 128 GB/s bisection bandwidth is far from saturated by 16 cores at the miss
 // rates these workloads exhibit (see DESIGN.md §5).
+//
+// The implementation is allocation-free on the steady-state path: messages
+// are values (no per-send boxing), the in-flight set is a hand-rolled binary
+// heap of values, and per-destination inboxes are reusable ring buffers.
 package network
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"invisifence/internal/memtypes"
 )
 
 // NodeID identifies a node (core + caches + directory slice) in the system.
@@ -42,6 +47,40 @@ func DefaultConfig() Config {
 	return Config{Width: 4, Height: 4, HopLatency: 100, LocalLatency: 1}
 }
 
+// inbox is one destination's delivered-message FIFO: a ring that reuses its
+// backing storage instead of shifting on every Recv.
+type inbox struct {
+	q    []Message
+	head int
+}
+
+func (b *inbox) len() int { return len(b.q) - b.head }
+
+func (b *inbox) push(m Message) { b.q = append(b.q, m) }
+
+func (b *inbox) pop() (Message, bool) {
+	if b.head >= len(b.q) {
+		return Message{}, false
+	}
+	m := b.q[b.head]
+	b.q[b.head] = Message{} // release the payload reference
+	b.head++
+	switch {
+	case b.head == len(b.q):
+		b.q = b.q[:0]
+		b.head = 0
+	case b.head >= 64 && b.head*2 >= len(b.q):
+		// Compact once the dead prefix dominates, so the backing array is
+		// bounded by the backlog (amortized O(1): each element moves at
+		// most once per 64 pops).
+		n := copy(b.q, b.q[b.head:])
+		clear(b.q[n:])
+		b.q = b.q[:n]
+		b.head = 0
+	}
+	return m, true
+}
+
 // Network is the torus. It is not safe for concurrent use; the simulator is
 // single-threaded and deterministic.
 type Network struct {
@@ -49,20 +88,19 @@ type Network struct {
 	now     uint64
 	nextSeq uint64
 	flight  msgHeap
-	inbox   [][]*Message // per destination, delivery-ordered
+	inboxes []inbox
 	rng     *rand.Rand
 
 	// lastArrive enforces FIFO ordering per (src,dst) pair: a later send may
-	// not arrive before an earlier one even under jitter.
-	lastArrive map[pair]uint64
+	// not arrive before an earlier one even under jitter. Indexed
+	// src*nodes+dst (the pair space is small and dense).
+	lastArrive []uint64
 
 	// Counters for bandwidth accounting and tests.
 	Sent      uint64
 	Delivered uint64
 	TotalHops uint64
 }
-
-type pair struct{ src, dst NodeID }
 
 // New creates a network with the given configuration.
 func New(cfg Config) *Network {
@@ -75,10 +113,11 @@ func New(cfg Config) *Network {
 	if cfg.LocalLatency == 0 {
 		cfg.LocalLatency = 1
 	}
+	nodes := cfg.Width * cfg.Height
 	n := &Network{
 		cfg:        cfg,
-		inbox:      make([][]*Message, cfg.Width*cfg.Height),
-		lastArrive: make(map[pair]uint64),
+		inboxes:    make([]inbox, nodes),
+		lastArrive: make([]uint64, nodes*nodes),
 	}
 	if cfg.Jitter > 0 {
 		n.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -135,14 +174,13 @@ func (n *Network) Send(src, dst NodeID, payload any) {
 	if arrive <= n.now {
 		arrive = n.now + 1
 	}
-	p := pair{src, dst}
-	if last, ok := n.lastArrive[p]; ok && arrive <= last {
+	p := int(src)*n.Nodes() + int(dst)
+	if last := n.lastArrive[p]; arrive <= last {
 		arrive = last + 1 // preserve per-pair FIFO ordering
 	}
 	n.lastArrive[p] = arrive
-	m := &Message{Src: src, Dst: dst, Payload: payload, arrive: arrive, seq: n.nextSeq}
+	n.flight.push(Message{Src: src, Dst: dst, Payload: payload, arrive: arrive, seq: n.nextSeq})
 	n.nextSeq++
-	heap.Push(&n.flight, m)
 	n.Sent++
 	n.TotalHops += uint64(n.Hops(src, dst))
 }
@@ -151,53 +189,91 @@ func (n *Network) Send(src, dst NodeID, payload any) {
 // delivery time has been reached into its destination inbox.
 func (n *Network) Tick(now uint64) {
 	n.now = now
-	for n.flight.Len() > 0 && n.flight[0].arrive <= now {
-		m := heap.Pop(&n.flight).(*Message)
-		n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
+	for len(n.flight) > 0 && n.flight[0].arrive <= now {
+		m := n.flight.pop()
+		n.inboxes[m.Dst].push(m)
 		n.Delivered++
 	}
 }
 
 // Recv pops the oldest delivered message for dst, if any. Node controllers
 // call this repeatedly, bounded by their own per-cycle service rate.
-func (n *Network) Recv(dst NodeID) (*Message, bool) {
-	q := n.inbox[dst]
-	if len(q) == 0 {
-		return nil, false
+func (n *Network) Recv(dst NodeID) (Message, bool) {
+	return n.inboxes[dst].pop()
+}
+
+// InboxLen reports delivered-but-unconsumed messages queued for dst; the
+// idle-skip scheduler treats a non-empty inbox as immediate work.
+func (n *Network) InboxLen(dst NodeID) int { return n.inboxes[dst].len() }
+
+// NextEvent returns the earliest delivery cycle of any in-flight message,
+// or memtypes.NoEvent when nothing is in flight. Delivered-but-unconsumed
+// messages are per-destination state reported via InboxLen.
+func (n *Network) NextEvent() uint64 {
+	if len(n.flight) == 0 {
+		return memtypes.NoEvent
 	}
-	m := q[0]
-	copy(q, q[1:])
-	n.inbox[dst] = q[:len(q)-1]
-	return m, true
+	return n.flight[0].arrive
 }
 
 // Pending reports the number of undelivered plus delivered-but-unconsumed
 // messages; the simulator uses it for quiescence detection.
 func (n *Network) Pending() int {
-	total := n.flight.Len()
-	for _, q := range n.inbox {
-		total += len(q)
+	total := len(n.flight)
+	for i := range n.inboxes {
+		total += n.inboxes[i].len()
 	}
 	return total
 }
 
-// msgHeap is a min-heap on (arrive, seq).
-type msgHeap []*Message
+// msgHeap is a hand-rolled min-heap of message values ordered by
+// (arrive, seq); avoiding container/heap keeps pushes boxing-free.
+type msgHeap []Message
 
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
+func (h msgHeap) less(i, j int) bool {
 	if h[i].arrive != h[j].arrive {
 		return h[i].arrive < h[j].arrive
 	}
 	return h[i].seq < h[j].seq
 }
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
-func (h *msgHeap) Pop() any {
-	old := *h
-	n := len(old)
-	m := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return m
+
+func (h *msgHeap) push(m Message) {
+	*h = append(*h, m)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) pop() Message {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = Message{} // release the payload reference
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }

@@ -91,7 +91,7 @@ func (n *Node) retireSpecLoad(addr memtypes.Addr, fromL1 bool) (bool, cpu.StallR
 	// that executed in the brief non-speculative window after an abort and
 	// retire inside the next chunk.
 	if y := n.engine.YoungestEpoch(); y >= 0 {
-		line.SpecRead[y] = true
+		n.l1.MarkSpecRead(line, y)
 	}
 	return true, cpu.StallNone
 }
@@ -165,7 +165,7 @@ func (n *Node) retireNonSpecStore(addr memtypes.Addr, val memtypes.Word) (bool, 
 // sbHasBlock reports whether the coalescing buffer holds any entry (of any
 // epoch class) for the block.
 func (n *Node) sbHasBlock(block memtypes.Addr) bool {
-	return len(n.coalSB.EntriesForBlock(block)) > 0
+	return n.coalSB.HasBlock(block)
 }
 
 // retireSpecStore is the §3.2 speculative store path.
@@ -199,7 +199,7 @@ func (n *Node) retireSpecStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu
 		}
 		line.Data[memtypes.WordIndex(addr)] = val
 		line.State = cache.Modified
-		line.SpecWritten[y] = true
+		n.l1.MarkSpecWritten(line, y)
 		return true, cpu.StallNone
 	}
 	if !n.engine.OnSpecStore() {
@@ -297,7 +297,7 @@ func (n *Node) retireSpecAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes
 	} else {
 		old = line.Data[memtypes.WordIndex(addr)]
 	}
-	line.SpecRead[y] = true
+	n.l1.MarkSpecRead(line, y)
 	nv, doWrite := cpu.AtomicApply(op, old, opA, opB)
 	if !doWrite {
 		return true, old, cpu.StallNone // failed CAS: read-only

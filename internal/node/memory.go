@@ -17,7 +17,7 @@ func (n *Node) blockLocked(block memtypes.Addr) bool {
 	if _, ok := n.cleanings[block]; ok {
 		return true
 	}
-	if n.coalSB != nil && len(n.coalSB.EntriesForBlock(block)) > 0 {
+	if n.coalSB != nil && n.coalSB.HasBlock(block) {
 		return true
 	}
 	if n.fifoSB != nil {
@@ -178,7 +178,7 @@ func (n *Node) wakeWaiters(m *mshrEntry) {
 func (n *Node) markExecRead(line *cache.Line) {
 	if n.engine.Continuous() {
 		if y := n.engine.YoungestEpoch(); y >= 0 {
-			line.SpecRead[y] = true
+			n.l1.MarkSpecRead(line, y)
 		}
 	}
 }
@@ -399,13 +399,8 @@ func (n *Node) drainCoalescing(block memtypes.Addr, maxDrains int, nonspecOnly b
 // drainEntry attempts to write one coalescing-buffer entry into the L1.
 func (n *Node) drainEntry(e *storebuffer.CoalescingEntry) bool {
 	// Per-block age order: an older entry for the same block drains first.
-	for _, o := range n.coalSB.EntriesForBlock(e.Block) {
-		if o != e && o.Seq() < e.Seq() {
-			return false
-		}
-		if o == e {
-			break
-		}
+	if !n.coalSB.IsOldestForBlock(e) {
+		return false
 	}
 	line := n.l1.Peek(e.Block)
 	if line == nil || !line.State.Writable() {
@@ -447,7 +442,7 @@ func (n *Node) drainEntry(e *storebuffer.CoalescingEntry) bool {
 	}
 	line.State = cache.Modified
 	if spec {
-		line.SpecWritten[e.Epoch] = true
+		n.l1.MarkSpecWritten(line, e.Epoch)
 	}
 	coherence.TraceEvent(n.now, e.Block, "node%d drain entry epoch=%d w0=%d(valid=%v)", n.id, e.Epoch, e.Words[0], e.Valid[0])
 	n.coalSB.Remove(e)

@@ -217,6 +217,12 @@ func (n *Node) sbEmpty() bool {
 	return n.coalSB.Empty()
 }
 
+// MSHRCount returns outstanding misses (tests, diagnostics).
+func (n *Node) MSHRCount() int { return len(n.mshrs) }
+
+// ParkedCount returns parked probes/fills awaiting retry (tests, diagnostics).
+func (n *Node) ParkedCount() int { return len(n.parked) }
+
 // SBOccupancy returns current store buffer entries (tests).
 func (n *Node) SBOccupancy() int {
 	if n.fifoSB != nil {
@@ -238,6 +244,10 @@ func (n *Node) send(dst network.NodeID, m *coherence.Msg) {
 // network, so this cycle's deliveries are in the inbox.
 func (n *Node) Tick(now uint64) {
 	n.now = now
+	// Message-driven core paths below (fills, snoops, aborts) anchor
+	// redirect timing to the core's clock, which lock-step execution leaves
+	// at the previous cycle; re-anchor it in case idle-skip jumped.
+	n.core.SyncNow(now - 1)
 	n.retryParked()
 	n.deliver()
 	n.dir.Tick(now)
@@ -267,6 +277,246 @@ func (n *Node) deliver() {
 		}
 		coherence.Trace(n.now, fmt.Sprintf("node%d<-%d", n.id, m.Src), cm, "")
 		n.handleCacheMsg(m.Src, cm)
+	}
+}
+
+// NextEvent returns the earliest future cycle at which this node might
+// change state on its own — excluding new network deliveries, which the
+// simulator tracks through the network's own horizon. It returns
+// memtypes.NoEvent when every pending activity is waiting on an external
+// input. The contract is one-sided: the hint must never be later than the
+// node's true next state change, but may be earlier (costing only a tick).
+//
+// The method is read-only with respect to simulated state, so the answer
+// never perturbs a run: a simulation executed with idle-skip is bit-exact
+// against the naive lock-step loop (enforced by TestGoldenResults and
+// TestIdleSkipBitExact).
+func (n *Node) NextEvent() uint64 {
+	// Unconsumed deliveries, parked probes/fills, and unsent miss requests
+	// are all retried next cycle.
+	if n.net.InboxLen(n.id) > 0 || len(n.parked) > 0 {
+		return n.now + 1
+	}
+	// A cycle that retired instructions classifies as Busy; the next cycle
+	// may classify differently even if frozen, so never skip across it.
+	if n.core.RetiredThisCycle > 0 {
+		return n.now + 1
+	}
+	next := uint64(memtypes.NoEvent)
+	for _, m := range n.mshrOrder {
+		switch {
+		case !m.sent && !m.fromL2:
+			return n.now + 1 // request issues next cycle
+		case m.fromL2:
+			// Includes completed-but-stuck local serves (no victim yet),
+			// which retry every cycle via max(now+1, ...).
+			next = min(next, max(n.now+1, m.readyAt))
+		}
+	}
+	for _, done := range n.cleanings {
+		next = min(next, max(n.now+1, done))
+	}
+	if t := n.sbNextEvent(); t < next {
+		next = t
+	}
+	next = min(next, n.headRetireEvent())
+	next = min(next, n.dir.NextEvent(n.now))
+	next = min(next, n.engine.NextEvent(n.now))
+	next = min(next, n.mem.NextEvent(n.now))
+	next = min(next, n.core.NextEvent())
+	return next
+}
+
+// headRetireEvent folds retirement policy into the horizon: when the ROB
+// head is ready to invoke the backend, decide — using the same Figure 2
+// rules the backend applies — whether next cycle's attempt could change
+// state (retire, begin a speculation, allocate a miss, bump a stall
+// counter) or is a provably pure wait on events tracked elsewhere (store
+// buffer drains, fills, cleanings). Pure waits contribute no event; any
+// doubt costs only a conservative now+1.
+func (n *Node) headRetireEvent() uint64 {
+	hs := n.core.HeadState()
+	if !hs.Valid {
+		return memtypes.NoEvent
+	}
+	if !hs.Ready {
+		return hs.ReadyAt // NoEvent when only a fill can unblock it
+	}
+	// The engine's speculative retirement paths mark speculative bits and
+	// consult checkpoint state; never skip while speculating, and never
+	// skip when the next attempt could begin a speculation.
+	if n.engine.Speculating() || n.canTriggerSpeculation() {
+		return n.now + 1
+	}
+	rules := consistency.RulesFor(n.cfg.Model)
+	switch {
+	case hs.Op == isa.Halt:
+		return n.now + 1
+	case hs.Op == isa.Fence:
+		if n.sbEmpty() {
+			return n.now + 1 // retires
+		}
+		return memtypes.NoEvent // pure drain wait (RetireFence mutates nothing)
+	case hs.Op.IsLoad():
+		if rules.LoadNeedsDrain && !n.sbEmpty() {
+			return memtypes.NoEvent // pure drain wait (SC)
+		}
+		return n.now + 1 // retires
+	case hs.Op.IsStore():
+		if n.fifoSB != nil {
+			if n.fifoSB.Full() {
+				// Blocked push; each attempt counts a FullStall, which
+				// SkipCycles replicates for the skipped stretch.
+				return memtypes.NoEvent
+			}
+			return n.now + 1 // pushes
+		}
+		switch n.cfg.Model {
+		case consistency.SC, consistency.TSO:
+			if !n.sbEmpty() {
+				return memtypes.NoEvent // pure drain-grace wait
+			}
+		}
+		if n.coalStoreWouldStall(hs.Addr) {
+			return memtypes.NoEvent // counted FullStall; SkipCycles replicates
+		}
+		return n.now + 1
+	case hs.Op.IsAtomic():
+		if rules.AtomicNeedsDrain && !n.sbEmpty() {
+			return memtypes.NoEvent // pure drain wait
+		}
+		block := memtypes.BlockAddr(hs.Addr)
+		line := n.l1.Peek(block)
+		if line == nil || !line.State.Writable() {
+			// Ownership wait; requestBlock is idempotent once the miss is
+			// outstanding. Without an MSHR the next attempt allocates one.
+			if _, ok := n.mshrs[block]; ok {
+				return memtypes.NoEvent
+			}
+			return n.now + 1
+		}
+		if _, cleaning := n.cleanings[block]; cleaning {
+			return memtypes.NoEvent // wakes at the cleaning's done cycle
+		}
+		if n.coalSB != nil && n.sbHasBlock(block) {
+			return memtypes.NoEvent // wakes on store-buffer drains
+		}
+		return n.now + 1 // performs the RMW
+	default:
+		return n.now + 1 // plain op retires (no backend involvement)
+	}
+}
+
+// coalStoreWouldStall mirrors retireNonSpecStore's failure path: the store
+// can neither write the L1 directly, nor merge, nor allocate a new entry.
+func (n *Node) coalStoreWouldStall(addr memtypes.Addr) bool {
+	block := memtypes.BlockAddr(addr)
+	line := n.l1.Peek(addr)
+	if line != nil && line.State.Writable() && !n.sbHasBlock(block) {
+		if _, cleaning := n.cleanings[block]; !cleaning {
+			return false // direct write succeeds
+		}
+	}
+	if !n.coalSB.Full() {
+		return false // a fresh entry can be allocated
+	}
+	// Full buffer: only a same-class merge can still succeed.
+	return !n.coalCanMerge(block)
+}
+
+// coalCanMerge reports whether a non-speculative store to block would
+// coalesce into the youngest same-block entry (mirrors Coalescing.Store).
+func (n *Node) coalCanMerge(block memtypes.Addr) bool {
+	entries := n.coalSB.Entries()
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Block == block {
+			return entries[i].Epoch == storebuffer.NonSpecEpoch
+		}
+	}
+	return false
+}
+
+// sbNextEvent reports when the store-buffer drain engine would next act.
+func (n *Node) sbNextEvent() uint64 {
+	if n.fifoSB != nil {
+		if e := n.fifoSB.Head(); e != nil {
+			block := memtypes.BlockAddr(e.Addr)
+			if line := n.l1.Peek(block); line != nil && line.State.Writable() {
+				return n.now + 1 // head drains next cycle
+			}
+			if _, ok := n.mshrs[block]; !ok {
+				return n.now + 1 // ownership request (re)attempted next cycle
+			}
+		}
+		if n.cfg.StorePrefetchDepth > 0 && len(n.mshrs) < n.cfg.MSHRs-4 {
+			for _, block := range n.fifoSB.PrefetchBlocks(n.cfg.StorePrefetchDepth) {
+				if _, ok := n.mshrs[block]; ok {
+					continue
+				}
+				if line := n.l1.Peek(block); line != nil && line.State.Writable() {
+					continue
+				}
+				return n.now + 1 // a store prefetch would be attempted
+			}
+		}
+		return memtypes.NoEvent
+	}
+	// Coalescing buffer: an entry whose block has neither an outstanding
+	// miss nor a cleaning writeback in progress is (re)attempted every
+	// cycle; entries pinned behind a sent miss or a cleaning wake through
+	// those events. (A block with an outstanding remote miss can never be
+	// writable locally, so no drain is missed by waiting on the fill.)
+	for _, e := range n.coalSB.Entries() {
+		if _, ok := n.mshrs[e.Block]; ok {
+			continue
+		}
+		if _, ok := n.cleanings[e.Block]; ok {
+			continue
+		}
+		return n.now + 1
+	}
+	return memtypes.NoEvent
+}
+
+// SkipCycles fast-forwards the node across k cycles (n.now+1 .. n.now+k)
+// in which the simulator proved no component makes progress. Frozen state
+// means every skipped cycle classifies exactly like the cycle just ticked
+// (NextEvent refuses to skip after a retiring cycle), so cycle accounting
+// is replayed in bulk; the core replicates its own per-cycle counters.
+func (n *Node) SkipCycles(k uint64) {
+	if n.accounting {
+		var cl stats.CycleClass
+		switch n.core.HeadStall {
+		case cpu.StallSBFull:
+			cl = stats.SBFull
+		case cpu.StallSBDrain:
+			cl = stats.SBDrain
+		default:
+			cl = stats.Other
+		}
+		n.st.AccountN(cl, n.engine.YoungestEpoch(), k)
+	}
+	n.core.SkipCycles(k)
+	// A head store blocked on a full store buffer counts one FullStall per
+	// attempted push; replicate the attempts the skip suppressed. (These
+	// are the only per-cycle mutations a blocked retirement makes — every
+	// other skippable head wait is pure, see headRetireEvent.)
+	if hs := n.core.HeadState(); hs.Valid && hs.Ready && hs.Op.IsStore() &&
+		!n.engine.Speculating() && !n.canTriggerSpeculation() {
+		if n.fifoSB != nil {
+			if n.fifoSB.Full() {
+				n.fifoSB.FullStalls += k
+			}
+		} else {
+			drainGrace := false
+			switch n.cfg.Model {
+			case consistency.SC, consistency.TSO:
+				drainGrace = !n.sbEmpty()
+			}
+			if !drainGrace && n.coalStoreWouldStall(hs.Addr) {
+				n.coalSB.FullStalls += k
+			}
+		}
 	}
 }
 

@@ -223,8 +223,8 @@ func TestEvictionForcesCommitOrAbort(t *testing.T) {
 	// opportunistic commit cannot resolve the pressure for free.
 	eng.Begin()
 	y := eng.YoungestEpoch()
-	n0.L1().Peek(a0).SpecRead[y] = true
-	n0.L1().Peek(a1).SpecRead[y] = true
+	n0.L1().MarkSpecRead(n0.L1().Peek(a0), y)
+	n0.L1().MarkSpecRead(n0.L1().Peek(a1), y)
 	feed := memtypes.Addr(0x20040)
 	n0.RetireStore(feed, 1)
 
@@ -237,10 +237,10 @@ func TestEvictionForcesCommitOrAbort(t *testing.T) {
 		if eng.Speculating() {
 			// Keep the bits asserted and the buffer non-empty.
 			if l := n0.L1().Peek(a0); l != nil {
-				l.SpecRead[y] = true
+				n0.L1().MarkSpecRead(l, y)
 			}
 			if l := n0.L1().Peek(a1); l != nil {
-				l.SpecRead[y] = true
+				n0.L1().MarkSpecRead(l, y)
 			}
 			if n0.SBOccupancy() == 0 {
 				feed += memtypes.Addr(memtypes.BlockBytes)
@@ -279,7 +279,7 @@ func TestProbeAbortsSpeculativeReader(t *testing.T) {
 	if ok, _ := n0.RetireStore(memtypes.Addr(0x9040), 3); !ok {
 		t.Fatal("blocker store rejected")
 	}
-	line.SpecRead[eng.YoungestEpoch()] = true
+	n0.L1().MarkSpecRead(line, eng.YoungestEpoch())
 
 	// Node 1 writes the speculatively-read block: its GetX must abort
 	// node 0's speculation.

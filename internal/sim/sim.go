@@ -23,6 +23,12 @@ type Config struct {
 	// WatchdogCycles panics if no instruction retires anywhere for this
 	// long (deadlock detector; 0 disables).
 	WatchdogCycles uint64
+	// DisableIdleSkip forces the naive lock-step loop that ticks every
+	// cycle, instead of jumping the clock over provably-idle stretches.
+	// Results are bit-exact either way; the flag exists so the bench
+	// harness (cmd/bench) can measure the event-horizon scheduler's
+	// speedup, and as a diagnostic bisect knob.
+	DisableIdleSkip bool
 }
 
 // Result summarizes a completed run.
@@ -50,6 +56,10 @@ type System struct {
 	net   *network.Network
 	nodes []*node.Node
 	now   uint64
+
+	// DebugHook, when set, runs after every ticked cycle (diagnostics,
+	// trace dumps). Skipped cycles do not invoke it.
+	DebugHook func(now uint64)
 }
 
 // New builds the system. programs[i] runs on node i; regs[i] seeds its
@@ -106,6 +116,15 @@ func (s *System) ReadWord(a memtypes.Addr) memtypes.Word {
 }
 
 // Run executes the cycle loop until every node quiesces (or limits hit).
+//
+// The loop is event-horizon scheduled: after ticking a cycle, every
+// component (network, nodes, directories, cores, speculation engines) is
+// asked for the earliest future cycle at which it could change state on its
+// own. When that horizon is beyond the next cycle — the whole machine is
+// waiting on memory accesses and in-flight messages — the clock jumps
+// straight to it instead of spinning through idle cycles. Skipped cycles
+// are provably state-preserving, so results are bit-exact against the
+// naive lock-step loop (TestIdleSkipBitExact, TestGoldenResults).
 func (s *System) Run() Result {
 	var lastRetired uint64
 	var lastProgress uint64
@@ -114,6 +133,9 @@ func (s *System) Run() Result {
 		s.net.Tick(s.now)
 		for _, n := range s.nodes {
 			n.Tick(s.now)
+		}
+		if s.DebugHook != nil {
+			s.DebugHook(s.now)
 		}
 		done := true
 		for _, n := range s.nodes {
@@ -138,7 +160,53 @@ func (s *System) Run() Result {
 					s.cfg.WatchdogCycles, s.now, s.debugState()))
 			}
 		}
+		if !s.cfg.DisableIdleSkip {
+			s.idleSkip(lastProgress)
+		}
 	}
+}
+
+// idleSkip jumps the clock to one cycle before the next event when every
+// component reports no possible work until then. Per-cycle bookkeeping for
+// the skipped stretch (cycle-class accounting, wrong-path fetch counters)
+// is replayed in bulk by each node.
+func (s *System) idleSkip(lastProgress uint64) {
+	horizon := s.net.NextEvent()
+	if horizon <= s.now+1 {
+		return
+	}
+	for _, n := range s.nodes {
+		e := n.NextEvent()
+		if e <= s.now+1 {
+			return
+		}
+		if e < horizon {
+			horizon = e
+		}
+	}
+	// Never jump past the run bounds: MaxCycles must truncate, and the
+	// watchdog must fire, at exactly the same cycle as the lock-step loop.
+	if s.cfg.MaxCycles > 0 && s.cfg.MaxCycles < horizon {
+		horizon = s.cfg.MaxCycles
+	}
+	if s.cfg.WatchdogCycles > 0 {
+		if deadline := lastProgress + s.cfg.WatchdogCycles + 1; deadline < horizon {
+			horizon = deadline
+		}
+	}
+	if horizon == memtypes.NoEvent {
+		// A global quiescence failure with no bounds configured: spin like
+		// the lock-step loop rather than inventing a termination cycle.
+		return
+	}
+	if horizon <= s.now+1 {
+		return
+	}
+	k := horizon - s.now - 1
+	for _, n := range s.nodes {
+		n.SkipCycles(k)
+	}
+	s.now += k
 }
 
 func (s *System) totalRetired() uint64 {

@@ -107,13 +107,20 @@ type NodeStats struct {
 // Account records one cycle of class c. If epoch >= 0 the cycle is staged
 // against that active speculation epoch; otherwise it is final.
 func (s *NodeStats) Account(c CycleClass, epoch int) {
-	s.TotalCycles++
+	s.AccountN(c, epoch, 1)
+}
+
+// AccountN records n identical cycles of class c at once: the idle-skip
+// scheduler fast-forwards stretches in which the per-cycle classification
+// is provably constant, and replays their accounting in bulk.
+func (s *NodeStats) AccountN(c CycleClass, epoch int, n uint64) {
+	s.TotalCycles += n
 	if epoch >= 0 {
-		s.SpecCycles++
-		s.staged[epoch][c]++
+		s.SpecCycles += n
+		s.staged[epoch][c] += n
 		return
 	}
-	s.Final[c]++
+	s.Final[c] += n
 }
 
 // CommitEpoch folds an epoch's staged cycles into the final breakdown.

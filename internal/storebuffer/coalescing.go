@@ -127,6 +127,34 @@ func (c *Coalescing) EntriesForBlock(block memtypes.Addr) []*CoalescingEntry {
 	return out
 }
 
+// HasBlock reports whether any entry (of any epoch class) holds stores for
+// the block. Allocation-free equivalent of len(EntriesForBlock(block)) > 0
+// for the hot paths (eviction pinning, retirement bypass checks).
+func (c *Coalescing) HasBlock(block memtypes.Addr) bool {
+	for _, e := range c.entries {
+		if e.Block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// IsOldestForBlock reports whether e is the oldest live entry for its block.
+// The entries slice is kept in seq order, so the first same-block entry
+// encountered decides; this replaces the allocating EntriesForBlock walk on
+// the per-cycle drain path.
+func (c *Coalescing) IsOldestForBlock(target *CoalescingEntry) bool {
+	for _, e := range c.entries {
+		if e == target {
+			return true
+		}
+		if e.Block == target.Block {
+			return false
+		}
+	}
+	panic("storebuffer: IsOldestForBlock of entry not present")
+}
+
 // Remove deletes an entry (after its words have been written to the L1).
 func (c *Coalescing) Remove(target *CoalescingEntry) {
 	for i, e := range c.entries {

@@ -28,6 +28,10 @@ type FIFO struct {
 	capacity int
 	nextSeq  uint64
 
+	// prefetchBuf is the reusable result slice for PrefetchBlocks: the drain
+	// engine calls it every cycle, so it must not allocate.
+	prefetchBuf []memtypes.Addr
+
 	Pushes, FullStalls uint64
 }
 
@@ -93,16 +97,25 @@ func (f *FIFO) Pop() {
 
 // PrefetchBlocks returns the distinct block addresses of up to depth entries
 // past the head; the drain engine issues exclusive prefetches for them
-// (Flexus-style store prefetching, §6.1).
+// (Flexus-style store prefetching, §6.1). The returned slice is reused
+// across calls: callers must not retain it. Deduplication is a linear scan
+// of the result — depth is single-digit, so this beats a map and allocates
+// nothing.
 func (f *FIFO) PrefetchBlocks(depth int) []memtypes.Addr {
-	var out []memtypes.Addr
-	seen := make(map[memtypes.Addr]bool, depth)
+	out := f.prefetchBuf[:0]
 	for i := 0; i < len(f.entries) && i < depth; i++ {
 		ba := memtypes.BlockAddr(f.entries[i].Addr)
-		if !seen[ba] {
-			seen[ba] = true
+		dup := false
+		for _, b := range out {
+			if b == ba {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, ba)
 		}
 	}
+	f.prefetchBuf = out
 	return out
 }

@@ -185,6 +185,12 @@ type Config struct {
 	Scale float64
 	// MaxCycles bounds the run (0 = the runner's generous default).
 	MaxCycles uint64
+	// DisableIdleSkip runs the naive lock-step cycle loop instead of the
+	// event-horizon scheduler. Simulated results are bit-identical either
+	// way (enforced by the golden tests), so the flag is excluded from
+	// cache keys; it exists for cmd/bench speedup measurements and as a
+	// diagnostic bisect knob.
+	DisableIdleSkip bool `json:"-"`
 }
 
 // DefaultConfig returns a 16-core run of apache under conventional SC.
@@ -254,8 +260,9 @@ func Run(cfg Config) (Result, error) {
 			SnoopLQ:            true,
 			FillHoldCycles:     8,
 		},
-		MaxCycles:      maxCycles,
-		WatchdogCycles: 2_000_000,
+		MaxCycles:       maxCycles,
+		WatchdogCycles:  2_000_000,
+		DisableIdleSkip: cfg.DisableIdleSkip,
 	}
 	s := sim.New(scfg, wl.Programs, wl.RegInit)
 	for a, v := range wl.MemInit {

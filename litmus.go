@@ -2,6 +2,7 @@ package invisifence
 
 import (
 	"fmt"
+	"sort"
 
 	"invisifence/internal/litmus"
 )
@@ -57,7 +58,7 @@ func RunLitmus(test, config string, seeds int) (LitmusResult, error) {
 	var spec *litmus.ConfigSpec
 	for _, s := range litmus.AllConfigs() {
 		if s.Name == config {
-			spec = &s
+			spec = &s // per-iteration variable (go >= 1.22): safe to retain
 			break
 		}
 	}
@@ -79,5 +80,17 @@ func RunLitmus(test, config string, seeds int) (LitmusResult, error) {
 		}
 		out.Outcomes = append(out.Outcomes, LitmusOutcome{Values: vals, Count: n})
 	}
+	// Map iteration order is randomized per invocation; sort outcomes
+	// canonically by their observed values so repeated sweeps (and repeated
+	// cmd/litmus runs) report byte-identical histograms.
+	sort.Slice(out.Outcomes, func(i, j int) bool {
+		a, b := out.Outcomes[i].Values, out.Outcomes[j].Values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 	return out, nil
 }

@@ -306,7 +306,12 @@ func (o *SweepOutcome) Table() *Table {
 	for _, r := range o.Runs {
 		cfg := r.Config
 		nodes := cfg.Machine.Width * cfg.Machine.Height
-		ipc := float64(r.Result.Retired) / float64(r.Result.Cycles) / float64(nodes)
+		// A zero-cycle result (degenerate config, corrupt cache entry) must
+		// not render NaN into the table.
+		ipcCell := "-"
+		if r.Result.Cycles > 0 && nodes > 0 {
+			ipcCell = fmt.Sprintf("%.3f", float64(r.Result.Retired)/float64(r.Result.Cycles)/float64(nodes))
+		}
 		t.AddRow(
 			cfg.Workload, cfg.Variant.Name,
 			fmt.Sprintf("%d", nodes),
@@ -315,7 +320,7 @@ func (o *SweepOutcome) Table() *Table {
 			fmt.Sprintf("%d", cfg.Seed),
 			fmt.Sprintf("%d", r.Result.Cycles),
 			fmt.Sprintf("%d", r.Result.Retired),
-			fmt.Sprintf("%.3f", ipc),
+			ipcCell,
 			pct(r.Result.SpecFraction),
 			fmt.Sprintf("%d", r.Result.Aborts),
 		)
