@@ -2,14 +2,15 @@
 // reference grid — the seven paper workloads under conventional SC and
 // INVISIFENCE-SELECTIVE-SC — and records the trajectory as a BENCH_<n>.json
 // file, so every PR that touches the core leaves a measured data point
-// behind.
+// behind. Grid cells run under the parallel runner (-clusters, default 4);
+// simulated results are scheduler-independent (TestGoldenResults,
+// TestParallelBitExact), so trajectories stay comparable across files.
 //
-// For the reference apache/SC cell it additionally re-runs the simulation
-// with the event-horizon scheduler disabled (the pre-refactor lock-step
-// loop) and reports the speedup, which is the number the performance
-// acceptance gate tracks. Simulated results are bit-identical between the
-// two loops (see TestGoldenResults / TestIdleSkipBitExact); only wall-clock
-// differs.
+// For the reference apache cells (conventional SC and Invisi_sc, the two
+// configurations the performance acceptance gates track) it additionally
+// re-runs the simulation under the serial event-horizon scheduler and the
+// naive lock-step loop, recording the serial-to-parallel trajectory per
+// cell: lock-step ns, serial ns, parallel ns, and the derived speedups.
 //
 // Usage:
 //
@@ -17,6 +18,7 @@
 //	bench -quick          # CI smoke: scale 0.25, 1 iteration
 //	bench -out results/   # write BENCH_<n>.json into a directory
 //	bench -workloads apache,ocean -variants sc -iters 5
+//	bench -clusters 0     # measure the serial schedulers only
 package main
 
 import (
@@ -46,31 +48,39 @@ type benchRun struct {
 	BytesPerRun  uint64  `json:"bytes_per_run"`
 }
 
-// reference pins the apache/SC speedup measurements: against the lock-step
-// loop in this binary (isolating the event-horizon scheduler), and — when
-// -prerefactor-ns supplies a measurement of the seed core on the same host
-// — against the pre-refactor implementation as a whole.
+// reference pins one cell's scheduler trajectory: the same simulation under
+// the naive lock-step loop, the serial event-horizon scheduler, and the
+// parallel runner, in this binary (isolating scheduler effects from
+// everything else) — and, when -prerefactor-ns supplies a measurement of
+// the seed core on the same host, against the pre-refactor implementation
+// as a whole. OptimizedNs is the best configured scheduler (the parallel
+// runner unless -clusters 0).
 type reference struct {
 	Workload           string  `json:"workload"`
 	Variant            string  `json:"variant"`
 	Scale              float64 `json:"scale"`
+	Clusters           int     `json:"clusters"`
 	OptimizedNs        int64   `json:"optimized_ns"`
+	SerialNs           int64   `json:"serial_ns"`
 	LockstepNs         int64   `json:"lockstep_ns"`
-	LockstepSpeedup    float64 `json:"lockstep_speedup"`
+	SerialSpeedup      float64 `json:"serial_speedup"`   // serial / optimized
+	LockstepSpeedup    float64 `json:"lockstep_speedup"` // lock-step / optimized
 	PreRefactorNs      int64   `json:"prerefactor_ns,omitempty"`
 	PreRefactorSpeedup float64 `json:"prerefactor_speedup,omitempty"`
 }
 
-// benchFile is the BENCH_<n>.json schema.
+// benchFile is the BENCH_<n>.json schema. v2 adds per-cell scheduler
+// references (References) in place of v1's single apache/SC entry.
 type benchFile struct {
-	Schema    string     `json:"schema"`
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	CPUs      int        `json:"cpus"`
-	Quick     bool       `json:"quick"`
-	Runs      []benchRun `json:"runs"`
-	Reference *reference `json:"reference,omitempty"`
+	Schema    string      `json:"schema"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Quick     bool        `json:"quick"`
+	Clusters  int         `json:"clusters"`
+	Runs      []benchRun  `json:"runs"`
+	Reference []reference `json:"references,omitempty"`
 }
 
 func measure(cfg invisifence.Config, iters int) (benchRun, error) {
@@ -123,8 +133,9 @@ func main() {
 	out := flag.String("out", "", "output path or directory (default: next free ./BENCH_<n>.json)")
 	workloads := flag.String("workloads", "", "comma-separated workloads (default: all seven)")
 	variants := flag.String("variants", "sc,invisi-sc", "comma-separated variant names")
-	noRef := flag.Bool("no-reference", false, "skip the apache/SC lock-step speedup measurement")
+	noRef := flag.Bool("no-reference", false, "skip the apache scheduler-trajectory measurements")
 	preNs := flag.Int64("prerefactor-ns", 0, "measured ns/run of the pre-refactor (seed) core for apache/SC at the same scale on this host; recorded for the trajectory")
+	clusters := flag.Int("clusters", 4, "parallel-runner clusters for grid cells (0 = serial event-horizon scheduler)")
 	flag.Parse()
 
 	if *iters == 0 {
@@ -148,12 +159,13 @@ func main() {
 	vns := strings.Split(*variants, ",")
 
 	file := benchFile{
-		Schema:    "invisifence-bench/v1",
+		Schema:    "invisifence-bench/v2",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		Quick:     *quick,
+		Clusters:  *clusters,
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -169,6 +181,7 @@ func main() {
 			cfg.Workload = strings.TrimSpace(wl)
 			cfg.Variant = v
 			cfg.Scale = *scale
+			cfg.Clusters = *clusters
 			r, err := measure(cfg, *iters)
 			if err != nil {
 				fail(err)
@@ -180,36 +193,55 @@ func main() {
 	}
 
 	if !*noRef {
-		cfg := invisifence.DefaultConfig()
-		cfg.Workload = "apache"
-		cfg.Scale = *scale
-		opt, err := measure(cfg, *iters)
-		if err != nil {
-			fail(err)
+		for _, v := range []invisifence.Variant{
+			invisifence.ConventionalVariant(invisifence.SC),
+			invisifence.SelectiveVariant(invisifence.SC),
+		} {
+			cfg := invisifence.DefaultConfig()
+			cfg.Workload = "apache"
+			cfg.Variant = v
+			cfg.Scale = *scale
+			cfg.Clusters = *clusters
+			opt, err := measure(cfg, *iters)
+			if err != nil {
+				fail(err)
+			}
+			serial := opt // -clusters 0: optimized IS the serial scheduler
+			if *clusters >= 2 {
+				cfg.Clusters = 0
+				serial, err = measure(cfg, *iters)
+				if err != nil {
+					fail(err)
+				}
+			}
+			cfg.DisableIdleSkip = true
+			lock, err := measure(cfg, *iters)
+			if err != nil {
+				fail(err)
+			}
+			ref := reference{
+				Workload:        "apache",
+				Variant:         v.Name,
+				Scale:           *scale,
+				Clusters:        *clusters,
+				OptimizedNs:     opt.NsPerRun,
+				SerialNs:        serial.NsPerRun,
+				LockstepNs:      lock.NsPerRun,
+				SerialSpeedup:   float64(serial.NsPerRun) / float64(opt.NsPerRun),
+				LockstepSpeedup: float64(lock.NsPerRun) / float64(opt.NsPerRun),
+			}
+			if *preNs > 0 && v.Name == "sc" {
+				ref.PreRefactorNs = *preNs
+				ref.PreRefactorSpeedup = float64(*preNs) / float64(opt.NsPerRun)
+			}
+			file.Reference = append(file.Reference, ref)
+			fmt.Fprintf(os.Stderr, "reference apache/%s: parallel(%d) %d ns, serial %d ns (%.2fx), lock-step %d ns (%.2fx)",
+				v.Name, *clusters, opt.NsPerRun, serial.NsPerRun, ref.SerialSpeedup, lock.NsPerRun, ref.LockstepSpeedup)
+			if ref.PreRefactorNs > 0 {
+				fmt.Fprintf(os.Stderr, ", pre-refactor %d ns (%.2fx)", ref.PreRefactorNs, ref.PreRefactorSpeedup)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
-		cfg.DisableIdleSkip = true
-		lock, err := measure(cfg, *iters)
-		if err != nil {
-			fail(err)
-		}
-		file.Reference = &reference{
-			Workload:        "apache",
-			Variant:         cfg.Variant.Name,
-			Scale:           *scale,
-			OptimizedNs:     opt.NsPerRun,
-			LockstepNs:      lock.NsPerRun,
-			LockstepSpeedup: float64(lock.NsPerRun) / float64(opt.NsPerRun),
-		}
-		if *preNs > 0 {
-			file.Reference.PreRefactorNs = *preNs
-			file.Reference.PreRefactorSpeedup = float64(*preNs) / float64(opt.NsPerRun)
-		}
-		fmt.Fprintf(os.Stderr, "reference apache/%s: optimized %d ns, lock-step %d ns (%.2fx)",
-			cfg.Variant.Name, opt.NsPerRun, lock.NsPerRun, file.Reference.LockstepSpeedup)
-		if *preNs > 0 {
-			fmt.Fprintf(os.Stderr, ", pre-refactor %d ns (%.2fx)", *preNs, file.Reference.PreRefactorSpeedup)
-		}
-		fmt.Fprintln(os.Stderr)
 	}
 
 	path := *out

@@ -1,0 +1,166 @@
+// Command benchdiff compares two BENCH_<n>.json files produced by
+// cmd/bench and fails (exit 1) when any grid cell's cycles/s regresses by
+// more than a threshold. CI uses it to diff the fresh quick-bench artifact
+// against the previous run's artifact, so a PR that slows the simulator
+// core down trips the gate with a per-cell table rather than a vague
+// timeout.
+//
+// Cells are matched by (workload, variant, scale); cells present in only
+// one file are reported but never fail the gate (grids may grow). Files
+// measured at different -quick settings are refused — their rates are not
+// comparable.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 0.15 bench-prev/ bench-new/   # dirs: highest BENCH_<n>.json inside
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// cell mirrors the cmd/bench run schema fields benchdiff consumes (v1 and
+// v2 files both decode).
+type cell struct {
+	Workload     string  `json:"workload"`
+	Variant      string  `json:"variant"`
+	Scale        float64 `json:"scale"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+type benchFile struct {
+	Schema   string `json:"schema"`
+	Quick    bool   `json:"quick"`
+	Clusters int    `json:"clusters"` // 0 for v1 files (serial scheduler)
+	Runs     []cell `json:"runs"`
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// resolve returns path itself for a file, or the highest-numbered
+// BENCH_<n>.json inside it for a directory.
+func resolve(path string) (string, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !st.IsDir() {
+		return path, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n > bestN {
+			bestN, best = n, filepath.Join(path, e.Name())
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json in %s", path)
+	}
+	return best, nil
+}
+
+func load(path string) (benchFile, string, error) {
+	p, err := resolve(path)
+	if err != nil {
+		return benchFile{}, "", err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return benchFile{}, "", err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return benchFile{}, "", fmt.Errorf("%s: %w", p, err)
+	}
+	return f, p, nil
+}
+
+func key(c cell) string { return fmt.Sprintf("%s/%s@%g", c.Workload, c.Variant, c.Scale) }
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated cycles/s regression per cell (0.10 = 10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] OLD NEW (files or directories)")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	oldF, oldPath, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newF, newPath, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	if oldF.Quick != newF.Quick {
+		fail(fmt.Errorf("quick flags differ (%v vs %v): rates not comparable", oldF.Quick, newF.Quick))
+	}
+	if oldF.Clusters != newF.Clusters {
+		// Scheduler changed between artifacts (e.g. a v1 serial baseline vs
+		// a v2 parallel run): the ~2.5x scheduler delta would drown any core
+		// regression, so there is nothing sound to gate on. Skip rather than
+		// fail — the next run compares like against like.
+		fmt.Printf("benchdiff: cluster counts differ (%d vs %d): schedulers not comparable, skipping diff\n",
+			oldF.Clusters, newF.Clusters)
+		return
+	}
+	old := map[string]cell{}
+	for _, c := range oldF.Runs {
+		old[key(c)] = c
+	}
+	var keys []string
+	cur := map[string]cell{}
+	for _, c := range newF.Runs {
+		cur[key(c)] = c
+		keys = append(keys, key(c))
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", oldPath, newPath, *threshold*100)
+	regressed := 0
+	for _, k := range keys {
+		n := cur[k]
+		o, ok := old[k]
+		if !ok || o.CyclesPerSec <= 0 {
+			fmt.Printf("  %-32s %12.0f cycles/s  (new cell)\n", k, n.CyclesPerSec)
+			continue
+		}
+		ratio := n.CyclesPerSec/o.CyclesPerSec - 1
+		mark := ""
+		if ratio < -*threshold {
+			mark = "  << REGRESSION"
+			regressed++
+		}
+		fmt.Printf("  %-32s %12.0f -> %12.0f cycles/s  %+6.1f%%%s\n", k, o.CyclesPerSec, n.CyclesPerSec, ratio*100, mark)
+	}
+	for k := range old {
+		if _, ok := cur[k]; !ok {
+			fmt.Printf("  %-32s dropped from grid\n", k)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed more than %.0f%%\n", regressed, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regression beyond threshold")
+}

@@ -286,17 +286,28 @@ func (e *Engine) OnSpecStore() bool {
 	if y < 0 {
 		return true
 	}
-	if e.cfg.Mode == ModeASO {
-		total := 0
-		for _, idx := range e.order {
-			total += e.epochs[idx].stores
-		}
-		if total >= e.cfg.ASOSSBCapacity {
-			return false
-		}
+	if e.SSBWouldBlock() {
+		return false
 	}
 	e.epochs[y].stores++
 	return true
+}
+
+// SSBWouldBlock reports, read-only, whether OnSpecStore would refuse the
+// next speculative store (ASO's Scalable Store Buffer at capacity; always
+// false for the other modes, which bound stores through the coalescing
+// buffer instead). The node folds this into its idle-skip horizon: an
+// SSB-full retirement attempt is refused before anything is counted, so
+// the wait is pure.
+func (e *Engine) SSBWouldBlock() bool {
+	if e.cfg.Mode != ModeASO || len(e.order) == 0 {
+		return false
+	}
+	total := 0
+	for _, idx := range e.order {
+		total += e.epochs[idx].stores
+	}
+	return total >= e.cfg.ASOSSBCapacity
 }
 
 // Tick runs the per-cycle policy work: opportunistic commits (oldest
@@ -325,7 +336,9 @@ func (e *Engine) Tick() {
 // opportunistic commit whose drain condition already holds, or a continuous
 // chunk open/close whose trigger is already satisfied. Everything else the
 // engine does is driven by retirements, probes, and store-buffer drains —
-// events owned by other components.
+// events owned by other components. The hint follows the simulator-wide
+// monotonicity contract: read-only, never later than the true next state
+// change, valid until the engine's (or host's drain) state next changes.
 func (e *Engine) NextEvent(now uint64) uint64 {
 	if len(e.order) > 0 {
 		o := e.order[0]

@@ -29,8 +29,21 @@ type Message struct {
 	Payload  any
 
 	arrive uint64 // delivery cycle
-	seq    uint64 // tie-break for deterministic ordering
+	seq    uint64 // tie-break for deterministic ordering (see ordering note)
+	sent   uint64 // send cycle (shard mode ordering component)
 }
+
+// Ordering note. The serial network breaks same-cycle delivery ties with a
+// single global send counter (seq), so messages delivered in the same cycle
+// to the same inbox pop in global send order. In shard mode no global
+// counter exists — sends happen concurrently on different shards — so seq is
+// a per-source counter instead and the heap orders by the composite key
+// (arrive, sent, src, seq). The two orders are identical: the serial
+// simulator ticks nodes in ascending NodeID order within a cycle, and every
+// send happens inside some node's tick, so global send order is exactly
+// lexicographic (send cycle, source NodeID, per-source send index). The
+// parallel-vs-serial bit-exactness tests (TestParallelBitExact) enforce
+// this equivalence.
 
 // Config describes the torus geometry and timing.
 type Config struct {
@@ -81,8 +94,20 @@ func (b *inbox) pop() (Message, bool) {
 	return m, true
 }
 
-// Network is the torus. It is not safe for concurrent use; the simulator is
-// single-threaded and deterministic.
+// Network is the torus — or, in shard mode, one cluster's partition of it.
+//
+// A plain Network (New) owns every node and is not safe for concurrent use;
+// the serial simulator is single-threaded and deterministic.
+//
+// A shard (NewShard) owns a subset of the nodes: it carries the in-flight
+// heap and inboxes for messages destined to its own nodes, and the per-pair
+// FIFO state for messages sent by its own nodes. Sends to foreign nodes are
+// timestamped locally (arrival cycle, FIFO bump, per-source sequence) and
+// parked in an outbox; the parallel scheduler moves them into the owning
+// shard with Inject at an epoch barrier, before any cycle at which they
+// could arrive (see internal/sim's parallel runner and DESIGN.md §7).
+// Distinct shards never share mutable state, so each may be driven by its
+// own goroutine between barriers.
 type Network struct {
 	cfg     Config
 	now     uint64
@@ -91,12 +116,27 @@ type Network struct {
 	inboxes []inbox
 	rng     *rand.Rand
 
+	// Shard mode. owned is nil for a whole-torus network; otherwise
+	// owned[id] reports whether this shard simulates node id. srcSeq
+	// replaces the global nextSeq with per-source counters (see the
+	// ordering note on Message), and sharded selects the composite heap
+	// key.
+	sharded bool
+	owned   []bool
+	srcSeq  []uint64
+	outbox  []Message
+
 	// lastArrive enforces FIFO ordering per (src,dst) pair: a later send may
 	// not arrive before an earlier one even under jitter. Indexed
-	// src*nodes+dst (the pair space is small and dense).
+	// src*nodes+dst (the pair space is small and dense). In shard mode only
+	// rows with an owned src are touched: a pair's FIFO state lives with the
+	// sender's shard, and every node is owned by exactly one shard.
 	lastArrive []uint64
 
-	// Counters for bandwidth accounting and tests.
+	// Counters for bandwidth accounting and tests. In shard mode Sent and
+	// TotalHops count sends by this shard's nodes and Delivered counts
+	// deliveries into this shard's inboxes; summing over shards matches the
+	// serial counters exactly.
 	Sent      uint64
 	Delivered uint64
 	TotalHops uint64
@@ -123,6 +163,51 @@ func New(cfg Config) *Network {
 		n.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	return n
+}
+
+// NewShard creates one cluster's partition of the torus: a Network that
+// simulates only the nodes with owned[id] == true. Jitter is rejected — its
+// RNG is consumed in global send order, which shards cannot reproduce; the
+// parallel scheduler falls back to the serial loop for jittered runs.
+func NewShard(cfg Config, owned []bool) *Network {
+	if cfg.Jitter > 0 {
+		panic("network: shards do not support jitter (global RNG order)")
+	}
+	n := New(cfg)
+	if len(owned) != n.Nodes() {
+		panic(fmt.Sprintf("network: owned set covers %d of %d nodes", len(owned), n.Nodes()))
+	}
+	n.sharded = true
+	n.owned = append([]bool(nil), owned...)
+	n.srcSeq = make([]uint64, n.Nodes())
+	return n
+}
+
+// Owns reports whether this network simulates node id (always true for a
+// whole-torus network).
+func (n *Network) Owns(id NodeID) bool { return n.owned == nil || n.owned[id] }
+
+// DrainOutbox returns and clears the cross-shard sends accumulated since the
+// last drain. Only the parallel scheduler calls this, at an epoch barrier,
+// with every shard goroutine parked.
+func (n *Network) DrainOutbox() []Message {
+	out := n.outbox
+	n.outbox = nil
+	return out
+}
+
+// Inject accepts cross-shard messages (drained from peer shards' outboxes)
+// whose destinations this shard owns. Arrival cycles and ordering keys were
+// fixed by the sender's shard; insertion order is irrelevant because the
+// composite heap key is a total order. Only the parallel scheduler calls
+// this, at an epoch barrier.
+func (n *Network) Inject(ms []Message) {
+	for _, m := range ms {
+		if !n.Owns(m.Dst) {
+			panic(fmt.Sprintf("network: injected message for foreign node %d", m.Dst))
+		}
+		n.flight.push(m, n.sharded)
+	}
 }
 
 // Nodes returns the number of nodes in the torus.
@@ -161,7 +246,10 @@ func (n *Network) Latency(a, b NodeID) uint64 {
 }
 
 // Send enqueues a message for delivery. It may be called at any point within
-// a cycle; delivery happens at a strictly later cycle.
+// a cycle; delivery happens at a strictly later cycle. In shard mode src
+// must be a node this shard owns (sends only happen inside an owned node's
+// tick); a foreign dst parks the message in the outbox for the next barrier
+// exchange.
 func (n *Network) Send(src, dst NodeID, payload any) {
 	if int(dst) < 0 || int(dst) >= n.Nodes() {
 		panic(fmt.Sprintf("network: send to invalid node %d", dst))
@@ -179,18 +267,33 @@ func (n *Network) Send(src, dst NodeID, payload any) {
 		arrive = last + 1 // preserve per-pair FIFO ordering
 	}
 	n.lastArrive[p] = arrive
-	n.flight.push(Message{Src: src, Dst: dst, Payload: payload, arrive: arrive, seq: n.nextSeq})
-	n.nextSeq++
+	m := Message{Src: src, Dst: dst, Payload: payload, arrive: arrive, sent: n.now}
+	if n.sharded {
+		m.seq = n.srcSeq[src]
+		n.srcSeq[src]++
+	} else {
+		m.seq = n.nextSeq
+		n.nextSeq++
+	}
 	n.Sent++
 	n.TotalHops += uint64(n.Hops(src, dst))
+	if !n.Owns(dst) {
+		n.outbox = append(n.outbox, m)
+		return
+	}
+	n.flight.push(m, n.sharded)
 }
 
 // Tick advances the network to the given cycle, moving every message whose
-// delivery time has been reached into its destination inbox.
+// delivery time has been reached into its destination inbox. now must be
+// monotonically non-decreasing across calls; the jump from one call to the
+// next may be arbitrarily large (idle-skip, epoch advancement), and every
+// message with arrive <= now is delivered in ordering-key order regardless
+// of how many cycles the jump spanned.
 func (n *Network) Tick(now uint64) {
 	n.now = now
 	for len(n.flight) > 0 && n.flight[0].arrive <= now {
-		m := n.flight.pop()
+		m := n.flight.pop(n.sharded)
 		n.inboxes[m.Dst].push(m)
 		n.Delivered++
 	}
@@ -209,6 +312,15 @@ func (n *Network) InboxLen(dst NodeID) int { return n.inboxes[dst].len() }
 // NextEvent returns the earliest delivery cycle of any in-flight message,
 // or memtypes.NoEvent when nothing is in flight. Delivered-but-unconsumed
 // messages are per-destination state reported via InboxLen.
+//
+// Monotonicity contract (shared by every NextEvent in the simulator): the
+// hint is valid until the component's state next changes — here, until a
+// Send, Inject, or delivering Tick. It must never be later than the true
+// next state change; earlier is allowed and costs only a wasted tick. The
+// hint is computed read-only, so querying it cannot perturb a run. In shard
+// mode the outbox is excluded deliberately: parked cross-shard messages are
+// the destination shard's future events, accounted after injection at the
+// barrier that precedes any cycle at which they could arrive.
 func (n *Network) NextEvent() uint64 {
 	if len(n.flight) == 0 {
 		return memtypes.NoEvent
@@ -226,24 +338,37 @@ func (n *Network) Pending() int {
 	return total
 }
 
-// msgHeap is a hand-rolled min-heap of message values ordered by
-// (arrive, seq); avoiding container/heap keeps pushes boxing-free.
+// msgHeap is a hand-rolled min-heap of message values; avoiding
+// container/heap keeps pushes boxing-free. The serial network orders by
+// (arrive, seq) with a global seq; shards order by the composite key
+// (arrive, sent, src, per-source seq), which is a total order equal to the
+// serial one (see the ordering note on Message). Because the key is total,
+// pop order is independent of push order — cross-shard injection at a
+// barrier cannot perturb delivery determinism.
 type msgHeap []Message
 
-func (h msgHeap) less(i, j int) bool {
+func (h msgHeap) less(i, j int, composite bool) bool {
 	if h[i].arrive != h[j].arrive {
 		return h[i].arrive < h[j].arrive
+	}
+	if composite {
+		if h[i].sent != h[j].sent {
+			return h[i].sent < h[j].sent
+		}
+		if h[i].Src != h[j].Src {
+			return h[i].Src < h[j].Src
+		}
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h *msgHeap) push(m Message) {
+func (h *msgHeap) push(m Message, composite bool) {
 	*h = append(*h, m)
 	q := *h
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !q.less(i, parent, composite) {
 			break
 		}
 		q[i], q[parent] = q[parent], q[i]
@@ -251,7 +376,7 @@ func (h *msgHeap) push(m Message) {
 	}
 }
 
-func (h *msgHeap) pop() Message {
+func (h *msgHeap) pop(composite bool) Message {
 	q := *h
 	top := q[0]
 	last := len(q) - 1
@@ -263,10 +388,10 @@ func (h *msgHeap) pop() Message {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(q) && q.less(l, smallest) {
+		if l < len(q) && q.less(l, smallest, composite) {
 			smallest = l
 		}
-		if r < len(q) && q.less(r, smallest) {
+		if r < len(q) && q.less(r, smallest, composite) {
 			smallest = r
 		}
 		if smallest == i {

@@ -175,3 +175,117 @@ func TestCounters(t *testing.T) {
 		t.Fatalf("sent=%d hops=%d", n.Sent, n.TotalHops)
 	}
 }
+
+// TestShardOrderingMatchesSerial drives the same send schedule through a
+// whole-torus network and through a two-shard partition with barrier
+// exchanges, and requires identical per-destination delivery sequences —
+// the composite shard ordering key must reproduce the serial global-seq
+// order exactly, including same-cycle ties from different sources and
+// per-pair FIFO bumps.
+func TestShardOrderingMatchesSerial(t *testing.T) {
+	cfg := Config{Width: 2, Height: 2, HopLatency: 5, LocalLatency: 1}
+	type send struct {
+		at       uint64
+		src, dst NodeID
+		tag      int
+	}
+	// Sends chosen to create same-arrival ties at shared destinations from
+	// sources in both shards, plus repeated same-pair sends (FIFO bumps).
+	var schedule []send
+	tag := 0
+	for cyc := uint64(1); cyc <= 12; cyc++ {
+		for src := NodeID(0); src < 4; src++ {
+			for _, dst := range []NodeID{(src + 1) % 4, (src + 2) % 4, src} {
+				schedule = append(schedule, send{cyc, src, dst, tag})
+				tag++
+			}
+		}
+	}
+	serial := func() [][]int {
+		n := New(cfg)
+		got := make([][]int, 4)
+		for now := uint64(1); now <= 40; now++ {
+			n.Tick(now)
+			for dst := NodeID(0); dst < 4; dst++ {
+				for {
+					m, ok := n.Recv(dst)
+					if !ok {
+						break
+					}
+					got[dst] = append(got[dst], m.Payload.(int))
+				}
+			}
+			for _, s := range schedule {
+				if s.at == now {
+					n.Send(s.src, s.dst, s.tag)
+				}
+			}
+		}
+		return got
+	}()
+
+	sharded := func() [][]int {
+		// Shard A owns {0,1}, shard B owns {2,3}; exchange every cycle
+		// (valid: min cross-shard latency >= 1).
+		shards := [2]*Network{
+			NewShard(cfg, []bool{true, true, false, false}),
+			NewShard(cfg, []bool{false, false, true, true}),
+		}
+		shardOf := func(id NodeID) int {
+			if id < 2 {
+				return 0
+			}
+			return 1
+		}
+		got := make([][]int, 4)
+		for now := uint64(1); now <= 40; now++ {
+			for _, sh := range shards {
+				sh.Tick(now)
+			}
+			for dst := NodeID(0); dst < 4; dst++ {
+				sh := shards[shardOf(dst)]
+				for {
+					m, ok := sh.Recv(dst)
+					if !ok {
+						break
+					}
+					got[dst] = append(got[dst], m.Payload.(int))
+				}
+			}
+			for _, s := range schedule {
+				if s.at == now {
+					shards[shardOf(s.src)].Send(s.src, s.dst, s.tag)
+				}
+			}
+			for _, sh := range shards {
+				for _, m := range sh.DrainOutbox() {
+					shards[shardOf(m.Dst)].Inject([]Message{m})
+				}
+			}
+		}
+		return got
+	}()
+
+	for dst := range serial {
+		if len(serial[dst]) != len(sharded[dst]) {
+			t.Fatalf("dst %d: serial delivered %d, sharded %d", dst, len(serial[dst]), len(sharded[dst]))
+		}
+		for i := range serial[dst] {
+			if serial[dst][i] != sharded[dst][i] {
+				t.Fatalf("dst %d: delivery %d differs: serial tag %d, sharded tag %d",
+					dst, i, serial[dst][i], sharded[dst][i])
+			}
+		}
+	}
+}
+
+// TestShardRejectsJitter pins the fallback contract: shards cannot
+// reproduce the serial jitter RNG's global consumption order.
+func TestShardRejectsJitter(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShard accepted a jittered config")
+		}
+	}()
+	NewShard(Config{Width: 2, Height: 2, HopLatency: 5, Jitter: 2}, []bool{true, true, false, false})
+}

@@ -329,11 +329,14 @@ func (n *Node) NextEvent() uint64 {
 
 // headRetireEvent folds retirement policy into the horizon: when the ROB
 // head is ready to invoke the backend, decide — using the same Figure 2
-// rules the backend applies — whether next cycle's attempt could change
-// state (retire, begin a speculation, allocate a miss, bump a stall
-// counter) or is a provably pure wait on events tracked elsewhere (store
-// buffer drains, fills, cleanings). Pure waits contribute no event; any
-// doubt costs only a conservative now+1.
+// rules (or, under speculation, the §3.2 speculative paths) the backend
+// applies — whether next cycle's attempt could change state (retire, begin
+// a speculation, allocate a miss, bump a stall counter) or is a provably
+// pure wait on events tracked elsewhere (store buffer drains, fills,
+// cleanings, epoch commits). Pure waits contribute no event; any doubt
+// costs only a conservative now+1. The hint is read-only and never later
+// than the true next state change (the simulator-wide monotonicity
+// contract, see Node.NextEvent).
 func (n *Node) headRetireEvent() uint64 {
 	hs := n.core.HeadState()
 	if !hs.Valid {
@@ -342,12 +345,14 @@ func (n *Node) headRetireEvent() uint64 {
 	if !hs.Ready {
 		return hs.ReadyAt // NoEvent when only a fill can unblock it
 	}
-	// The engine's speculative retirement paths mark speculative bits and
-	// consult checkpoint state; never skip while speculating, and never
-	// skip when the next attempt could begin a speculation.
-	if n.engine.Speculating() || n.canTriggerSpeculation() {
-		return n.now + 1
+	if n.engine.Speculating() {
+		return n.specHeadRetireEvent(hs)
 	}
+	// Non-speculating head. canTriggerSpeculation is consulted exactly
+	// where the backend would call Begin — a blanket now+1 whenever the
+	// engine *could* begin would misclassify every pure wait on the paths
+	// that never trigger (e.g. an SC atomic's ownership wait), which is
+	// precisely where lock-contended workloads spend their cycles.
 	rules := consistency.RulesFor(n.cfg.Model)
 	switch {
 	case hs.Op == isa.Halt:
@@ -356,9 +361,15 @@ func (n *Node) headRetireEvent() uint64 {
 		if n.sbEmpty() {
 			return n.now + 1 // retires
 		}
+		if n.canTriggerSpeculation() {
+			return n.now + 1 // RetireFence begins a speculation instead
+		}
 		return memtypes.NoEvent // pure drain wait (RetireFence mutates nothing)
 	case hs.Op.IsLoad():
 		if rules.LoadNeedsDrain && !n.sbEmpty() {
+			if n.canTriggerSpeculation() {
+				return n.now + 1 // RetireLoad begins a speculation instead
+			}
 			return memtypes.NoEvent // pure drain wait (SC)
 		}
 		return n.now + 1 // retires
@@ -374,6 +385,9 @@ func (n *Node) headRetireEvent() uint64 {
 		switch n.cfg.Model {
 		case consistency.SC, consistency.TSO:
 			if !n.sbEmpty() {
+				if n.canTriggerSpeculation() {
+					return n.now + 1 // RetireStore begins a speculation instead
+				}
 				return memtypes.NoEvent // pure drain-grace wait
 			}
 		}
@@ -383,11 +397,17 @@ func (n *Node) headRetireEvent() uint64 {
 		return n.now + 1
 	case hs.Op.IsAtomic():
 		if rules.AtomicNeedsDrain && !n.sbEmpty() {
+			if n.canTriggerSpeculation() {
+				return n.now + 1 // RetireAtomic begins a speculation instead
+			}
 			return memtypes.NoEvent // pure drain wait
 		}
 		block := memtypes.BlockAddr(hs.Addr)
 		line := n.l1.Peek(block)
 		if line == nil || !line.State.Writable() {
+			if n.cfg.Model == consistency.RMO && n.canTriggerSpeculation() {
+				return n.now + 1 // the Figure 4 RMO atomic trigger fires
+			}
 			// Ownership wait; requestBlock is idempotent once the miss is
 			// outstanding. Without an MSHR the next attempt allocates one.
 			if _, ok := n.mshrs[block]; ok {
@@ -405,6 +425,117 @@ func (n *Node) headRetireEvent() uint64 {
 	default:
 		return n.now + 1 // plain op retires (no backend involvement)
 	}
+}
+
+// specHeadRetireEvent classifies the ROB head's retirement attempt while a
+// speculation is live (the ROADMAP's "skippable speculation waits"). The
+// Invisi_* configurations speculate almost continuously, so every pure wait
+// recognized here is a cycle the per-node schedulers can skip. The mirror
+// relationship is with the retireSpec* paths in backend.go; SkipCycles
+// replicates the one per-cycle counter a skippable blocked attempt bumps.
+func (n *Node) specHeadRetireEvent(hs cpu.HeadState) uint64 {
+	switch {
+	case hs.Op.IsLoad():
+		// retireSpecLoad either retires (marking the speculatively-read
+		// bit) or detects a racing eviction and replays: state changes
+		// either way.
+		return n.now + 1
+	case hs.Op.IsStore():
+		switch n.specStoreOutcome(hs.Addr) {
+		case specStoreWaitPure, specStoreWaitStall:
+			// Wakes through tracked events: store-buffer drains
+			// (sbNextEvent, fills, cleanings) and epoch commits
+			// (engine.NextEvent); the stall counter is replayed in bulk.
+			return memtypes.NoEvent
+		}
+		return n.now + 1
+	case hs.Op.IsAtomic():
+		if n.specAtomicWaitsOnMiss(hs) {
+			return memtypes.NoEvent // pure fill wait; requestBlock is idempotent
+		}
+		return n.now + 1
+	default:
+		// Halt (engine halt-request), Fence (retires freely inside a
+		// speculation), plain ops: all change state next cycle.
+		return n.now + 1
+	}
+}
+
+// specStoreOutcome classifies, read-only, what the next retireSpecStore
+// attempt for a head store to addr would do.
+type specStoreOutcome uint8
+
+const (
+	// specStoreProgress: the attempt mutates state — a direct L1 write, a
+	// cleaning writeback kickoff, a buffer allocation/merge, an ownership
+	// request, or (ASO) an SSB occupancy bump on a failed push.
+	specStoreProgress specStoreOutcome = iota
+	// specStoreWaitPure: the attempt provably mutates nothing (ASO SSB at
+	// capacity: OnSpecStore refuses before anything is counted).
+	specStoreWaitPure
+	// specStoreWaitStall: the attempt only bumps the coalescing buffer's
+	// FullStalls counter (full buffer, no same-epoch merge target), which
+	// SkipCycles replicates for skipped cycles.
+	specStoreWaitStall
+)
+
+func (n *Node) specStoreOutcome(addr memtypes.Addr) specStoreOutcome {
+	y := n.engine.YoungestEpoch()
+	block := memtypes.BlockAddr(addr)
+	line := n.l1.Peek(addr)
+	_, cleaning := n.cleanings[block]
+	if line != nil && line.State.Writable() && !cleaning && !n.sbHasBlock(block) {
+		if line.State == cache.Modified && !line.SpecWrittenAny() {
+			return specStoreProgress // would start a cleaning writeback
+		}
+		if !n.heldByOlderEpoch(line, y) {
+			return specStoreProgress // direct speculative write retires
+		}
+	}
+	if n.engine.SSBWouldBlock() {
+		return specStoreWaitPure
+	}
+	if !n.coalSB.Full() || n.specCanMerge(block, y) {
+		return specStoreProgress // buffer push succeeds, store retires
+	}
+	// Failed push: no ownership request follows (the push gates it), so
+	// the only per-cycle mutation is the buffer's FullStalls counter —
+	// except in ASO mode, where OnSpecStore counts the store into the SSB
+	// before the push fails, and SSB occupancy is drain-cost-visible state.
+	if n.engine.Config().Mode == ifcore.ModeASO {
+		return specStoreProgress
+	}
+	return specStoreWaitStall
+}
+
+// specCanMerge reports whether a speculative store of epoch y to block
+// would coalesce into the youngest same-block entry (mirrors
+// Coalescing.Store's merge rule).
+func (n *Node) specCanMerge(block memtypes.Addr, y int) bool {
+	entries := n.coalSB.Entries()
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Block == block {
+			return entries[i].Epoch == y
+		}
+	}
+	return false
+}
+
+// specAtomicWaitsOnMiss reports whether a head atomic under speculation is
+// a pure wait on an already-outstanding fill: retireSpecAtomic needs the
+// block data itself, and with the miss in flight its requestBlock retry is
+// idempotent. Any other state (no MSHR yet, or line present) can mutate on
+// the next attempt.
+func (n *Node) specAtomicWaitsOnMiss(hs cpu.HeadState) bool {
+	if !hs.AddrOK {
+		return false
+	}
+	block := memtypes.BlockAddr(hs.Addr)
+	if n.l1.Peek(hs.Addr) != nil {
+		return false
+	}
+	_, outstanding := n.mshrs[block]
+	return outstanding
 }
 
 // coalStoreWouldStall mirrors retireNonSpecStore's failure path: the store
@@ -500,23 +631,40 @@ func (n *Node) SkipCycles(k uint64) {
 	// A head store blocked on a full store buffer counts one FullStall per
 	// attempted push; replicate the attempts the skip suppressed. (These
 	// are the only per-cycle mutations a blocked retirement makes — every
-	// other skippable head wait is pure, see headRetireEvent.)
-	if hs := n.core.HeadState(); hs.Valid && hs.Ready && hs.Op.IsStore() &&
-		!n.engine.Speculating() && !n.canTriggerSpeculation() {
-		if n.fifoSB != nil {
-			if n.fifoSB.Full() {
-				n.fifoSB.FullStalls += k
-			}
-		} else {
-			drainGrace := false
-			switch n.cfg.Model {
-			case consistency.SC, consistency.TSO:
-				drainGrace = !n.sbEmpty()
-			}
-			if !drainGrace && n.coalStoreWouldStall(hs.Addr) {
-				n.coalSB.FullStalls += k
-			}
+	// other skippable head wait is pure, see headRetireEvent and
+	// specStoreOutcome.)
+	hs := n.core.HeadState()
+	if !hs.Valid || !hs.Ready || !hs.Op.IsStore() {
+		return
+	}
+	if n.engine.Speculating() {
+		// Mirror of specHeadRetireEvent: only a WaitStall-classified head
+		// bumps a counter per attempt (a WaitPure head — ASO SSB full — is
+		// refused before anything is counted).
+		if n.specStoreOutcome(hs.Addr) == specStoreWaitStall {
+			n.coalSB.FullStalls += k
 		}
+		return
+	}
+	if n.fifoSB != nil {
+		if n.fifoSB.Full() {
+			n.fifoSB.FullStalls += k
+		}
+		return
+	}
+	// Mirror of RetireStore's non-speculating coalescing path: with a
+	// non-empty buffer under SC/TSO the attempt either begins a speculation
+	// (never skipped, headRetireEvent returns now+1) or waits for the drain
+	// without touching the buffer; only past that gate does a failed push
+	// count a FullStall per attempt.
+	switch n.cfg.Model {
+	case consistency.SC, consistency.TSO:
+		if !n.sbEmpty() {
+			return
+		}
+	}
+	if n.coalStoreWouldStall(hs.Addr) {
+		n.coalSB.FullStalls += k
 	}
 }
 

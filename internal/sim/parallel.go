@@ -1,0 +1,448 @@
+// Conservative parallel in-run simulation: per-node local clocks, one
+// goroutine per node cluster, epoch barriers at the torus lookahead.
+//
+// The contract (DESIGN.md §7, condensed):
+//
+//   - Nodes interact only through the network. The minimum latency between
+//     nodes in different clusters — the lookahead L — bounds how far one
+//     cluster's present can influence another's future: a message sent at
+//     cycle t arrives no earlier than t+L.
+//   - Therefore, once every cluster has simulated through cycle E and
+//     exchanged cross-cluster messages, each cluster can simulate
+//     (E, E+L] independently: every message that can arrive in that window
+//     is already in its shard's in-flight heap.
+//   - Within its epoch a cluster runs an event loop with per-node local
+//     clocks: a node ticks only at cycles where its cached NextEvent
+//     horizon or an arriving message says it could change state; the
+//     skipped node-cycles are replayed in bulk with SkipCycles before its
+//     next tick, exactly as the serial idle-skip loop does system-wide.
+//   - Termination must match the serial loops bit-exactly: the run ends at
+//     the first cycle F at which every node reports Finished. A cluster
+//     whose nodes are all finished pauses rather than simulating ahead
+//     (cycles past F must never be simulated), and the coordinator resolves
+//     the exact F with an iterative barrier protocol (see resolve).
+//
+// Determinism: between barriers, each cluster touches only its own nodes
+// and shard; the coordinator touches shared state only while every worker
+// is parked (channel-synchronized, so the race detector agrees). Message
+// delivery order is a total order independent of exchange batching (see the
+// ordering note in internal/network).
+package sim
+
+import (
+	"fmt"
+
+	"invisifence/internal/memtypes"
+	"invisifence/internal/network"
+	"invisifence/internal/node"
+	"invisifence/internal/stats"
+)
+
+// cluster is one worker's slice of the machine: a contiguous run of nodes
+// plus their network shard.
+type cluster struct {
+	idx   int
+	shard *network.Network
+	nodes []*node.Node
+	ids   []network.NodeID
+
+	// clock is the cluster's local clock: every owned node's state reflects
+	// all cycles <= clock (ticked or provably idle). lastTick and horizon
+	// are the per-node local clocks: lastTick[i] is the last cycle node i
+	// actually ticked, horizon[i] its NextEvent hint cached at that tick
+	// (absolute cycle, or memtypes.NoEvent). Cycles in (lastTick[i], clock]
+	// are node i's lag, replayed in bulk via SkipCycles before its next
+	// tick.
+	clock    uint64
+	lastTick []uint64
+	horizon  []uint64
+
+	// paused marks that the cluster stopped at pauseCycle because all its
+	// nodes were Finished there and the coordinator had not yet proven the
+	// run extends further (the endgame protocol).
+	paused     bool
+	pauseCycle uint64
+
+	st stats.RunnerStats
+
+	cmds chan clusterCmd
+	done chan struct{}
+}
+
+// clusterCmd asks a worker to advance its cluster: simulate up to limit,
+// pausing at the first cycle >= safe at which all its nodes are Finished.
+// safe is the coordinator's guarantee that the serial loop would reach
+// cycle safe (F >= safe), so pausing earlier is never necessary.
+type clusterCmd struct{ safe, limit uint64 }
+
+func newCluster(idx int, shard *network.Network, all []*node.Node, ids []int) *cluster {
+	c := &cluster{
+		idx:   idx,
+		shard: shard,
+		cmds:  make(chan clusterCmd),
+		done:  make(chan struct{}),
+	}
+	for _, id := range ids {
+		c.nodes = append(c.nodes, all[id])
+		c.ids = append(c.ids, network.NodeID(id))
+		c.lastTick = append(c.lastTick, 0)
+		// Before its first tick every node is one fetch away from work.
+		c.horizon = append(c.horizon, 1)
+	}
+	return c
+}
+
+// nextEventTime returns the earliest cycle at which anything in this
+// cluster could change state: a node horizon or an in-flight delivery.
+// Arrivals already sitting in an inbox force the owed node's horizon to
+// lastTick+1, so they are covered by the horizon terms.
+func (c *cluster) nextEventTime() uint64 {
+	t := c.shard.NextEvent()
+	for _, h := range c.horizon {
+		if h < t {
+			t = h
+		}
+	}
+	return t
+}
+
+func (c *cluster) allFinished() bool {
+	for _, n := range c.nodes {
+		if !n.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// advance simulates the cluster forward to limit under the pause rule: stop
+// at the first cycle t >= safe at which every owned node is Finished —
+// that cycle might be the whole run's finish F, and no node may ever be
+// simulated past F. The event loop ticks only nodes whose horizon is due or
+// whose inbox is non-empty; everyone else accrues lag.
+func (c *cluster) advance(safe, limit uint64) {
+	c.paused = false
+	for {
+		fin := c.allFinished()
+		if fin && c.clock >= safe {
+			c.paused = true
+			c.pauseCycle = c.clock
+			return
+		}
+		lim := limit
+		if fin && safe < lim {
+			// All nodes finished but the run is only proven to reach safe:
+			// advance to safe (processing any arrivals on the way, which may
+			// un-finish a node) and re-evaluate there.
+			lim = safe
+		}
+		if c.clock >= lim {
+			return
+		}
+		t := c.nextEventTime()
+		if t > lim { // includes NoEvent
+			c.clock = lim // provably-idle stretch: pure lag, no work
+			continue
+		}
+		if t <= c.clock {
+			panic(fmt.Sprintf("sim: cluster %d event horizon %d not beyond clock %d", c.idx, t, c.clock))
+		}
+		c.runCycle(t)
+		c.clock = t
+	}
+}
+
+// runCycle simulates exactly cycle t: deliver arrivals, then tick every due
+// node (ascending node ID, matching the serial loops' order), replaying
+// each ticked node's lag first.
+func (c *cluster) runCycle(t uint64) {
+	c.shard.Tick(t)
+	for i, n := range c.nodes {
+		if c.horizon[i] <= t || c.shard.InboxLen(c.ids[i]) > 0 {
+			if gap := t - c.lastTick[i] - 1; gap > 0 {
+				n.SkipCycles(gap)
+				c.st.SkippedNodeCycles += gap
+			}
+			n.Tick(t)
+			c.lastTick[i] = t
+			c.horizon[i] = n.NextEvent()
+			c.st.NodeTicks++
+		}
+	}
+	c.st.SimulatedCycles++
+}
+
+// flushLag brings every node's accounting up to cycle "to" (all remaining
+// lag is provably idle), aligning the cluster with what the serial loops
+// would have ticked or skipped by then.
+func (c *cluster) flushLag(to uint64) {
+	for i, n := range c.nodes {
+		if gap := to - c.lastTick[i]; gap > 0 {
+			n.SkipCycles(gap)
+			c.st.SkippedNodeCycles += gap
+			c.lastTick[i] = to
+		}
+	}
+	c.clock = to
+}
+
+// ---------------------------------------------------------------- runner
+
+// runParallel is the coordinator: it drives the cluster workers through
+// epochs of length lookahead, exchanges cross-shard messages at barriers,
+// fast-forwards whole-system idle stretches, and resolves the exact finish
+// cycle.
+func (s *System) runParallel() Result {
+	clusters := make([]*cluster, len(s.shards))
+	for ci := range s.shards {
+		clusters[ci] = newCluster(ci, s.shards[ci], s.nodes, s.clusterNodes[ci])
+	}
+	for _, c := range clusters {
+		go func(c *cluster) {
+			for cmd := range c.cmds {
+				c.advance(cmd.safe, cmd.limit)
+				c.done <- struct{}{}
+			}
+		}(c)
+	}
+	defer func() {
+		for _, c := range clusters {
+			close(c.cmds)
+		}
+		for _, c := range clusters {
+			s.runnerStats.Merge(&c.st) // ascending cluster order: deterministic
+		}
+	}()
+
+	lookahead := s.lookahead()
+	var (
+		epochEnd     uint64 // every cluster has simulated through epochEnd
+		safe         uint64 // serial provably reaches this cycle (F >= safe)
+		lastRetired  uint64
+		lastProgress uint64
+	)
+	for {
+		// Whole-system idle jump, mirroring the serial idle-skip bounds: the
+		// clock may advance to one cycle before the global horizon, but never
+		// across MaxCycles or the watchdog deadline. No node ticks, so no
+		// Finished flag can change during the jumped stretch — the run
+		// cannot end inside it.
+		h := uint64(memtypes.NoEvent)
+		for _, c := range clusters {
+			if t := c.nextEventTime(); t < h {
+				h = t
+			}
+		}
+		if h != memtypes.NoEvent && h > epochEnd+1 {
+			jump := h - 1
+			if s.cfg.MaxCycles > 0 && jump > s.cfg.MaxCycles {
+				jump = s.cfg.MaxCycles
+			}
+			if s.cfg.WatchdogCycles > 0 {
+				if deadline := lastProgress + s.cfg.WatchdogCycles + 1; jump > deadline {
+					jump = deadline
+				}
+			}
+			if jump > epochEnd {
+				clusters[0].st.IdleJumpCycles += jump - epochEnd
+				for _, c := range clusters {
+					c.clock = jump
+				}
+				epochEnd = jump
+				if safe < epochEnd {
+					safe = epochEnd
+				}
+			}
+		}
+
+		target := epochEnd + lookahead
+		if s.cfg.MaxCycles > 0 && target > s.cfg.MaxCycles {
+			target = s.cfg.MaxCycles
+		}
+
+		s.dispatch(clusters, safe, target)
+		if res, end := s.resolve(clusters, &safe, target); end {
+			return res
+		}
+		epochEnd = target
+		clusters[0].st.Epochs++
+
+		// Barrier exchange: move every cross-cluster message into the shard
+		// that owns its destination. All of them arrive after target (the
+		// lookahead guarantee), so injection precedes any cycle at which
+		// they could be delivered.
+		s.exchange()
+
+		if s.cfg.MaxCycles > 0 && epochEnd >= s.cfg.MaxCycles {
+			for _, c := range clusters {
+				c.flushLag(epochEnd)
+			}
+			s.now = epochEnd
+			return s.result(false)
+		}
+		if total := s.totalRetired(); total != lastRetired {
+			lastRetired = total
+			lastProgress = epochEnd
+		} else if s.cfg.WatchdogCycles > 0 && epochEnd-lastProgress > s.cfg.WatchdogCycles {
+			panic(fmt.Sprintf("sim: no retirement progress for %d cycles at cycle %d\n%s",
+				s.cfg.WatchdogCycles, epochEnd, s.debugState()))
+		}
+	}
+}
+
+// dispatch runs advance(safe, limit) on every cluster in sel concurrently
+// and waits for all of them (the barrier).
+func (s *System) dispatch(sel []*cluster, safe, limit uint64) {
+	for _, c := range sel {
+		c.cmds <- clusterCmd{safe: safe, limit: limit}
+	}
+	for _, c := range sel {
+		<-c.done
+	}
+}
+
+// resolve runs the endgame protocol after an epoch's advance. The serial
+// loops end at the first cycle F at which every node is Finished; here each
+// cluster pauses at its own first all-finished cycle, and F — if it lies in
+// this epoch — is the fixpoint of: take the maximum pause cycle F*, prove
+// the run reaches it (every earlier cycle had an unfinished node in the
+// cluster that paused at F*), let the clusters behind catch up to it, and
+// repeat until either every cluster pauses at the same cycle (the run ends
+// there) or some cluster passes the epoch end unfinished (the run
+// continues; stragglers catch up to the epoch end).
+func (s *System) resolve(clusters []*cluster, safe *uint64, target uint64) (Result, bool) {
+	for {
+		allPaused := true
+		for _, c := range clusters {
+			if !c.paused {
+				allPaused = false
+				break
+			}
+		}
+		if !allPaused {
+			// The run provably extends through target: catch stragglers up.
+			*safe = target
+			var behind []*cluster
+			for _, c := range clusters {
+				if c.paused && c.clock < target {
+					behind = append(behind, c)
+				}
+			}
+			if len(behind) > 0 {
+				clusters[0].st.Resolutions++
+				s.dispatch(behind, target, target)
+			}
+			for _, c := range clusters {
+				c.paused = false
+			}
+			return Result{}, false
+		}
+		f := clusters[0].pauseCycle
+		same := true
+		for _, c := range clusters[1:] {
+			if c.pauseCycle > f {
+				f = c.pauseCycle
+			}
+			if c.pauseCycle != clusters[0].pauseCycle {
+				same = false
+			}
+		}
+		if same {
+			// Every node Finished at f, and no cluster simulated past it:
+			// this is exactly where the serial loops return.
+			for _, c := range clusters {
+				c.flushLag(f)
+			}
+			s.now = f
+			return s.result(true), true
+		}
+		*safe = f
+		var behind []*cluster
+		for _, c := range clusters {
+			if c.clock < f {
+				behind = append(behind, c)
+			}
+		}
+		clusters[0].st.Resolutions++
+		s.dispatch(behind, f, target)
+	}
+}
+
+// lookahead computes the epoch length: the minimum message latency between
+// any two nodes in different clusters. Self-messages (LocalLatency) are
+// always intra-cluster, so the bound is at least one torus hop.
+func (s *System) lookahead() uint64 {
+	la := uint64(memtypes.NoEvent)
+	for ci, as := range s.clusterNodes {
+		for cj, bs := range s.clusterNodes {
+			if ci == cj {
+				continue
+			}
+			for _, a := range as {
+				for _, b := range bs {
+					if l := s.shards[0].Latency(network.NodeID(a), network.NodeID(b)); l < la {
+						la = l
+					}
+				}
+			}
+		}
+	}
+	if la == 0 || la == memtypes.NoEvent {
+		la = 1
+	}
+	return la
+}
+
+// exchange drains every shard's outbox and injects each message into the
+// shard owning its destination. Insertion order cannot affect delivery
+// order (total ordering key), so a simple per-destination regrouping
+// suffices.
+func (s *System) exchange() {
+	if s.xferScratch == nil {
+		s.xferScratch = make([][]network.Message, len(s.shards))
+	}
+	for _, src := range s.shards {
+		for _, m := range src.DrainOutbox() {
+			c := s.clusterOf[int(m.Dst)]
+			s.xferScratch[c] = append(s.xferScratch[c], m)
+		}
+	}
+	for c, ms := range s.xferScratch {
+		if len(ms) > 0 {
+			s.shards[c].Inject(ms)
+			s.xferScratch[c] = ms[:0]
+		}
+	}
+}
+
+// RunnerStats returns the parallel runner's merged telemetry for the
+// completed run (zero for the serial runners). It is intentionally not part
+// of Result: all runners must produce deeply-equal Results.
+func (s *System) RunnerStats() stats.RunnerStats { return s.runnerStats }
+
+// ----------------------------------------------------- sharded lock-step
+
+// runLockstepSharded drives a clustered system with the naive per-cycle
+// loop: tick every shard and node each cycle, exchange cross-shard messages
+// at cycle end. It exists so per-cycle observation hooks (DebugHook,
+// coherence tracing) keep their in-order, single-goroutine contract on
+// clustered systems, and as a third oracle in the bit-exactness tests.
+// Cross-shard messages sent at cycle t arrive at t+latency >= t+1, so an
+// end-of-cycle exchange precedes every possible delivery.
+func (s *System) runLockstepSharded() Result {
+	var lastRetired uint64
+	var lastProgress uint64
+	for {
+		s.now++
+		for _, sh := range s.shards {
+			sh.Tick(s.now)
+		}
+		for _, n := range s.nodes {
+			n.Tick(s.now)
+		}
+		s.exchange()
+		if res, done := s.cycleEpilogue(&lastRetired, &lastProgress); done {
+			return res
+		}
+	}
+}

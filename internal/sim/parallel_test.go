@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"invisifence/internal/consistency"
+	ifcore "invisifence/internal/core"
+	"invisifence/internal/isa"
+	"invisifence/internal/memtypes"
+)
+
+// runnerCases is the full consistency-implementation grid the parallel
+// runner must be invisible on: every Figure 2 conventional model and every
+// speculation policy.
+var runnerCases = []struct {
+	name  string
+	model consistency.Model
+	eng   ifcore.Config
+}{
+	{"conventional-sc", consistency.SC, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.SC}},
+	{"conventional-tso", consistency.TSO, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.TSO}},
+	{"conventional-rmo", consistency.RMO, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.RMO}},
+	{"selective-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
+	{"selective-rmo", consistency.RMO, ifcore.DefaultSelective(consistency.RMO)},
+	{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
+	{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
+	{"aso", consistency.SC, ifcore.DefaultASO()},
+}
+
+// runWith runs the contended-program system under one runner selection.
+func runWith(t *testing.T, model consistency.Model, eng ifcore.Config, mutate func(*Config)) Result {
+	t.Helper()
+	cfg := testConfig(2, 2, model, eng)
+	mutate(&cfg)
+	nnodes := cfg.Net.Width * cfg.Net.Height
+	progs := make([]*isa.Program, nnodes)
+	for i := range progs {
+		progs[i] = contendedProgram(i, nnodes)
+	}
+	s := New(cfg, progs, nil)
+	res := s.Run()
+	if !res.Finished {
+		t.Fatalf("run did not finish (cycles=%d)", res.Cycles)
+	}
+	return res
+}
+
+// TestParallelBitExact proves the conservative parallel runner is invisible:
+// for every consistency implementation, the full Result — cycles,
+// retirement counts, the per-class cycle breakdown, per-node stats, and
+// every event counter — is identical across the lock-step loop, the serial
+// event-horizon loop, and the parallel runner at two cluster counts
+// (including one that divides the nodes unevenly).
+func TestParallelBitExact(t *testing.T) {
+	for _, c := range runnerCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			lockstep := runWith(t, c.model, c.eng, func(cfg *Config) { cfg.DisableIdleSkip = true })
+			skipped := runWith(t, c.model, c.eng, func(cfg *Config) {})
+			par2 := runWith(t, c.model, c.eng, func(cfg *Config) { cfg.Clusters = 2 })
+			par3 := runWith(t, c.model, c.eng, func(cfg *Config) { cfg.Clusters = 3 })
+			if !reflect.DeepEqual(lockstep, skipped) {
+				t.Errorf("idle-skip diverged from lock-step:\nlock-step: %+v\nidle-skip: %+v", lockstep, skipped)
+			}
+			if !reflect.DeepEqual(lockstep, par2) {
+				t.Errorf("parallel(2) diverged from lock-step:\nlock-step: %+v\nparallel:  %+v", lockstep, par2)
+			}
+			if !reflect.DeepEqual(lockstep, par3) {
+				t.Errorf("parallel(3) diverged from lock-step:\nlock-step: %+v\nparallel:  %+v", lockstep, par3)
+			}
+		})
+	}
+}
+
+// TestParallelFallbacks pins the serial-fallback rules: cluster counts the
+// node count cannot satisfy, DisableIdleSkip, and jitter all build a
+// serial (unsharded) system, and a sharded system with a DebugHook takes
+// the sharded lock-step loop (hook sees every cycle exactly once).
+func TestParallelFallbacks(t *testing.T) {
+	base := testConfig(2, 2, consistency.SC, offEngine(consistency.SC))
+	for name, mutate := range map[string]func(*Config){
+		"clusters-exceed-nodes": func(c *Config) { c.Clusters = 5 },
+		"disable-idle-skip":     func(c *Config) { c.Clusters = 2; c.DisableIdleSkip = true },
+		"jitter":                func(c *Config) { c.Clusters = 2; c.Net.Jitter = 3 },
+		"one-cluster":           func(c *Config) { c.Clusters = 1 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		nnodes := cfg.Net.Width * cfg.Net.Height
+		if k := effectiveClusters(cfg, nnodes); k != 1 {
+			t.Errorf("%s: effectiveClusters = %d, want 1 (serial fallback)", name, k)
+		}
+	}
+
+	cfg := base
+	cfg.Clusters = 2
+	progs := make([]*isa.Program, 4)
+	for i := range progs {
+		progs[i] = contendedProgram(i, 4)
+	}
+	s := New(cfg, progs, nil)
+	var hooks uint64
+	var last uint64
+	s.DebugHook = func(now uint64) {
+		if now != last+1 {
+			t.Fatalf("DebugHook skipped from %d to %d", last, now)
+		}
+		last = now
+		hooks++
+	}
+	res := s.Run()
+	if !res.Finished {
+		t.Fatal("hooked sharded run did not finish")
+	}
+	if hooks != res.Cycles {
+		t.Errorf("DebugHook ran %d times for %d cycles", hooks, res.Cycles)
+	}
+	want := runWith(t, consistency.SC, offEngine(consistency.SC), func(c *Config) { c.DisableIdleSkip = true })
+	if !reflect.DeepEqual(want, res) {
+		t.Errorf("sharded lock-step diverged from serial lock-step:\nserial:  %+v\nsharded: %+v", want, res)
+	}
+}
+
+// TestParallelBitExactRandomPrograms is the seed-randomized equivalence
+// sweep: for a fixed list of seeds (no wall-clock dependence anywhere),
+// random multi-threaded programs must produce deeply-equal Results under
+// the serial event-horizon loop and the parallel runner, across a mix of
+// speculative and conventional implementations. MaxCycles truncation is
+// exercised too (seeded runs that hit the bound must truncate at the same
+// cycle with identical partial stats).
+func TestParallelBitExactRandomPrograms(t *testing.T) {
+	engines := []struct {
+		name  string
+		model consistency.Model
+		eng   ifcore.Config
+	}{
+		{"sc", consistency.SC, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.SC}},
+		{"invisi-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
+		{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
+	}
+	seeds := []int64{1, 7, 42, 1234, 99991}
+	const cores = 4
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		progs := make([]*isa.Program, cores)
+		regInits := make([][isa.NumRegs]memtypes.Word, cores)
+		for i := 0; i < cores; i++ {
+			progs[i], regInits[i] = randomProgram(rng, i, memtypes.Addr(0x100000+i*0x10000))
+		}
+		for _, e := range engines {
+			run := func(mutate func(*Config)) Result {
+				cfg := testConfig(2, 2, e.model, e.eng)
+				// Also pin MaxCycles truncation behavior on a subset of seeds.
+				if seed%2 == 1 {
+					cfg.MaxCycles = 30_000
+				}
+				mutate(&cfg)
+				s := New(cfg, progs, regInits)
+				return s.Run()
+			}
+			serial := run(func(*Config) {})
+			par := run(func(c *Config) { c.Clusters = 2 })
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("seed %d/%s: parallel diverged from serial:\nserial:   %+v\nparallel: %+v",
+					seed, e.name, serial, par)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"invisifence/internal/cache"
+	"invisifence/internal/coherence"
 	"invisifence/internal/isa"
 	"invisifence/internal/memtypes"
 	"invisifence/internal/network"
@@ -27,8 +28,22 @@ type Config struct {
 	// cycle, instead of jumping the clock over provably-idle stretches.
 	// Results are bit-exact either way; the flag exists so the bench
 	// harness (cmd/bench) can measure the event-horizon scheduler's
-	// speedup, and as a diagnostic bisect knob.
+	// speedup, and as a diagnostic bisect knob. It also disables the
+	// parallel runner (Clusters), since that builds on the same horizons.
 	DisableIdleSkip bool
+	// Clusters >= 2 selects the conservative parallel runner: the torus is
+	// partitioned into that many node clusters, each simulated by its own
+	// goroutine over its own network shard with per-node local clocks,
+	// synchronized at epoch barriers derived from the minimum cross-cluster
+	// message latency (DESIGN.md §7). Results are bit-exact against both
+	// serial loops (TestParallelBitExact). The runner falls back to the
+	// serial loops when Clusters < 2, when the system has fewer nodes than
+	// clusters, when DisableIdleSkip is set, or when the network uses
+	// jitter (whose RNG is consumed in global send order that shards cannot
+	// reproduce); setting DebugHook — or enabling coherence tracing — on a
+	// clustered system selects the sharded lock-step loop, so per-cycle
+	// observation hooks see every cycle in order from one goroutine.
+	Clusters int
 }
 
 // Result summarizes a completed run.
@@ -53,13 +68,38 @@ type Result struct {
 // System is one assembled machine.
 type System struct {
 	cfg   Config
-	net   *network.Network
+	net   *network.Network // whole torus; nil when the system is sharded
 	nodes []*node.Node
 	now   uint64
 
+	// Sharded construction (Config.Clusters >= 2): shards[c] is cluster c's
+	// network partition, clusterNodes[c] its node indices (ascending,
+	// contiguous), and clusterOf[id] the owning cluster. Empty for serial
+	// systems.
+	shards       []*network.Network
+	clusterNodes [][]int
+	clusterOf    []int
+	xferScratch  [][]network.Message // barrier-exchange regrouping buffers
+
+	// runnerStats accumulates parallel-runner telemetry (kept out of Result
+	// so all three runners produce deeply-equal Results).
+	runnerStats stats.RunnerStats
+
 	// DebugHook, when set, runs after every ticked cycle (diagnostics,
-	// trace dumps). Skipped cycles do not invoke it.
+	// trace dumps). Skipped cycles do not invoke it. On a clustered system
+	// it forces the sharded lock-step loop, so the hook observes every
+	// cycle in order.
 	DebugHook func(now uint64)
+}
+
+// effectiveClusters resolves Config.Clusters against the fallback rules
+// documented on the field.
+func effectiveClusters(cfg Config, nnodes int) int {
+	k := cfg.Clusters
+	if k < 2 || nnodes < k || cfg.DisableIdleSkip || cfg.Net.Jitter > 0 {
+		return 1
+	}
+	return k
 }
 
 // New builds the system. programs[i] runs on node i; regs[i] seeds its
@@ -69,8 +109,24 @@ func New(cfg Config, programs []*isa.Program, regs [][isa.NumRegs]memtypes.Word)
 	if len(programs) != nnodes {
 		panic(fmt.Sprintf("sim: %d programs for %d nodes", len(programs), nnodes))
 	}
-	net := network.New(cfg.Net)
-	s := &System{cfg: cfg, net: net}
+	s := &System{cfg: cfg}
+	k := effectiveClusters(cfg, nnodes)
+	netFor := func(i int) *network.Network { return s.net }
+	if k >= 2 {
+		s.clusterNodes = partition(nnodes, k)
+		s.clusterOf = make([]int, nnodes)
+		for c, ids := range s.clusterNodes {
+			owned := make([]bool, nnodes)
+			for _, id := range ids {
+				owned[id] = true
+				s.clusterOf[id] = c
+			}
+			s.shards = append(s.shards, network.NewShard(cfg.Net, owned))
+		}
+		netFor = func(i int) *network.Network { return s.shards[s.clusterOf[i]] }
+	} else {
+		s.net = network.New(cfg.Net)
+	}
 	for i := 0; i < nnodes; i++ {
 		nc := cfg.Node
 		nc.ID = network.NodeID(i)
@@ -79,9 +135,33 @@ func New(cfg Config, programs []*isa.Program, regs [][isa.NumRegs]memtypes.Word)
 		if regs != nil {
 			r = regs[i]
 		}
-		s.nodes = append(s.nodes, node.New(nc, net, programs[i], r))
+		s.nodes = append(s.nodes, node.New(nc, netFor(i), programs[i], r))
 	}
 	return s
+}
+
+// partition splits n node indices into k contiguous, balanced clusters. On
+// the row-major torus, contiguous index ranges are whole rows (plus row
+// fragments), so the minimum cross-cluster hop distance — the parallel
+// runner's lookahead — stays at one hop rather than collapsing to zero
+// (self-messages, the only sub-hop latency, are always intra-cluster).
+func partition(n, k int) [][]int {
+	base, rem := n/k, n%k
+	out := make([][]int, 0, k)
+	next := 0
+	for c := 0; c < k; c++ {
+		size := base
+		if c < rem {
+			size++
+		}
+		ids := make([]int, 0, size)
+		for j := 0; j < size; j++ {
+			ids = append(ids, next)
+			next++
+		}
+		out = append(out, ids)
+	}
+	return out
 }
 
 // Nodes returns the node count.
@@ -115,17 +195,36 @@ func (s *System) ReadWord(a memtypes.Addr) memtypes.Word {
 	return s.nodes[home].Memory().ReadWord(a)
 }
 
-// Run executes the cycle loop until every node quiesces (or limits hit).
+// Run executes the simulation until every node quiesces (or limits hit),
+// selecting one of three bit-exact runners (DESIGN.md §6-§7):
 //
-// The loop is event-horizon scheduled: after ticking a cycle, every
-// component (network, nodes, directories, cores, speculation engines) is
-// asked for the earliest future cycle at which it could change state on its
-// own. When that horizon is beyond the next cycle — the whole machine is
-// waiting on memory accesses and in-flight messages — the clock jumps
-// straight to it instead of spinning through idle cycles. Skipped cycles
-// are provably state-preserving, so results are bit-exact against the
-// naive lock-step loop (TestIdleSkipBitExact, TestGoldenResults).
+//   - lock-step (DisableIdleSkip): tick every component every cycle;
+//   - event-horizon serial (default): ask every component for the earliest
+//     future cycle at which it could change state on its own, and jump the
+//     clock over stretches in which the whole machine is provably idle;
+//   - conservative parallel (Clusters >= 2): per-node local clocks, one
+//     goroutine per node cluster over a network shard, epoch barriers at
+//     the minimum cross-cluster latency.
+//
+// Skipped cycles are provably state-preserving, so all three produce
+// deeply-equal Results (TestIdleSkipBitExact, TestParallelBitExact,
+// TestGoldenResults).
 func (s *System) Run() Result {
+	if len(s.shards) > 0 {
+		// Per-cycle observation hooks (DebugHook, coherence tracing) need
+		// cycles in order from one goroutine; the sharded lock-step loop
+		// keeps their contract on clustered systems.
+		if s.DebugHook != nil || coherence.TraceAddr != 0 {
+			return s.runLockstepSharded()
+		}
+		return s.runParallel()
+	}
+	return s.runSerial()
+}
+
+// runSerial is the single-threaded cycle loop: lock-step when
+// DisableIdleSkip is set, event-horizon scheduled otherwise.
+func (s *System) runSerial() Result {
 	var lastRetired uint64
 	var lastProgress uint64
 	for {
@@ -134,36 +233,49 @@ func (s *System) Run() Result {
 		for _, n := range s.nodes {
 			n.Tick(s.now)
 		}
-		if s.DebugHook != nil {
-			s.DebugHook(s.now)
-		}
-		done := true
-		for _, n := range s.nodes {
-			if !n.Finished() {
-				done = false
-				break
-			}
-		}
-		if done {
-			return s.result(true)
-		}
-		if s.cfg.MaxCycles > 0 && s.now >= s.cfg.MaxCycles {
-			return s.result(false)
-		}
-		if s.cfg.WatchdogCycles > 0 {
-			total := s.totalRetired()
-			if total != lastRetired {
-				lastRetired = total
-				lastProgress = s.now
-			} else if s.now-lastProgress > s.cfg.WatchdogCycles {
-				panic(fmt.Sprintf("sim: no retirement progress for %d cycles at cycle %d\n%s",
-					s.cfg.WatchdogCycles, s.now, s.debugState()))
-			}
+		if res, done := s.cycleEpilogue(&lastRetired, &lastProgress); done {
+			return res
 		}
 		if !s.cfg.DisableIdleSkip {
 			s.idleSkip(lastProgress)
 		}
 	}
+}
+
+// cycleEpilogue runs the per-cycle loops' shared end-of-cycle protocol —
+// DebugHook, the all-finished check, MaxCycles truncation, and the
+// retirement watchdog — returning (result, true) when the run ends this
+// cycle. Both serial loops and the sharded lock-step loop share it so the
+// termination semantics cannot drift apart (the three-runner bit-exactness
+// contract pins them).
+func (s *System) cycleEpilogue(lastRetired, lastProgress *uint64) (Result, bool) {
+	if s.DebugHook != nil {
+		s.DebugHook(s.now)
+	}
+	done := true
+	for _, n := range s.nodes {
+		if !n.Finished() {
+			done = false
+			break
+		}
+	}
+	if done {
+		return s.result(true), true
+	}
+	if s.cfg.MaxCycles > 0 && s.now >= s.cfg.MaxCycles {
+		return s.result(false), true
+	}
+	if s.cfg.WatchdogCycles > 0 {
+		total := s.totalRetired()
+		if total != *lastRetired {
+			*lastRetired = total
+			*lastProgress = s.now
+		} else if s.now-*lastProgress > s.cfg.WatchdogCycles {
+			panic(fmt.Sprintf("sim: no retirement progress for %d cycles at cycle %d\n%s",
+				s.cfg.WatchdogCycles, s.now, s.debugState()))
+		}
+	}
+	return Result{}, false
 }
 
 // idleSkip jumps the clock to one cycle before the next event when every

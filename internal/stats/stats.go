@@ -146,6 +146,40 @@ func (s *NodeStats) SpecFraction() float64 {
 	return float64(s.SpecCycles) / float64(s.TotalCycles)
 }
 
+// RunnerStats is scheduler telemetry: how much work each runner actually
+// did to simulate a run. The parallel runner keeps one instance per cluster
+// goroutine (written only by that goroutine between barriers) and merges
+// them in ascending cluster order once the run completes, so the aggregate
+// is deterministic. It is deliberately not part of a run's Result: all
+// runners must produce deeply-equal Results, while their telemetry
+// necessarily differs.
+type RunnerStats struct {
+	// SimulatedCycles counts cycles at which at least one of the cluster's
+	// nodes ticked; NodeTicks counts individual node ticks and
+	// SkippedNodeCycles the node-cycles replayed in bulk via SkipCycles
+	// (the per-node local-clock win: NodeTicks + SkippedNodeCycles =
+	// nodes x simulated span).
+	SimulatedCycles   uint64
+	NodeTicks         uint64
+	SkippedNodeCycles uint64
+
+	// Coordinator-level counters (identical across clusters; tracked once).
+	Epochs         uint64 // epoch barriers executed
+	IdleJumpCycles uint64 // cycles fast-forwarded by whole-system jumps at barriers
+	Resolutions    uint64 // endgame finish-resolution rounds
+}
+
+// Merge adds o into r field-wise. Callers merge per-cluster instances in
+// ascending cluster order for a deterministic aggregate.
+func (r *RunnerStats) Merge(o *RunnerStats) {
+	r.SimulatedCycles += o.SimulatedCycles
+	r.NodeTicks += o.NodeTicks
+	r.SkippedNodeCycles += o.SkippedNodeCycles
+	r.Epochs += o.Epochs
+	r.IdleJumpCycles += o.IdleJumpCycles
+	r.Resolutions += o.Resolutions
+}
+
 // Summary is the mean and 95% confidence half-width of a set of samples
 // (one per seed), the stand-in for SimFlex sampling error bars.
 type Summary struct {

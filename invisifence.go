@@ -191,6 +191,14 @@ type Config struct {
 	// cache keys; it exists for cmd/bench speedup measurements and as a
 	// diagnostic bisect knob.
 	DisableIdleSkip bool `json:"-"`
+	// Clusters >= 2 selects the conservative parallel runner: per-node
+	// local clocks with one goroutine per node cluster, synchronized at
+	// epoch barriers (DESIGN.md §7). Results are bit-identical to the
+	// serial loops (TestParallelBitExact), so — like DisableIdleSkip — the
+	// knob is a scheduler selection, excluded from cache keys. Values the
+	// runner cannot honor (more clusters than nodes, jitter, lock-step)
+	// fall back to the serial scheduler.
+	Clusters int `json:"-"`
 }
 
 // DefaultConfig returns a 16-core run of apache under conventional SC.
@@ -263,6 +271,7 @@ func Run(cfg Config) (Result, error) {
 		MaxCycles:       maxCycles,
 		WatchdogCycles:  2_000_000,
 		DisableIdleSkip: cfg.DisableIdleSkip,
+		Clusters:        cfg.Clusters,
 	}
 	s := sim.New(scfg, wl.Programs, wl.RegInit)
 	for a, v := range wl.MemInit {
