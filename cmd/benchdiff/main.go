@@ -1,9 +1,11 @@
 // Command benchdiff compares two BENCH_<n>.json files produced by
 // cmd/bench and fails (exit 1) when any grid cell's cycles/s regresses by
-// more than a threshold. CI uses it to diff the fresh quick-bench artifact
-// against the previous run's artifact, so a PR that slows the simulator
-// core down trips the gate with a per-cell table rather than a vague
-// timeout.
+// more than a threshold — or when its allocations per run grow by more than
+// the allocation threshold, so the allocation-free message path cannot
+// silently regress behind a wall-clock-neutral change. CI uses it to diff
+// the fresh quick-bench artifact against the previous run's artifact, so a
+// PR that slows the simulator core down trips the gate with a per-cell
+// table rather than a vague timeout.
 //
 // Cells are matched by (workload, variant, scale); cells present in only
 // one file are reported but never fail the gate (grids may grow). Files
@@ -14,6 +16,7 @@
 //
 //	benchdiff old.json new.json
 //	benchdiff -threshold 0.15 bench-prev/ bench-new/   # dirs: highest BENCH_<n>.json inside
+//	benchdiff -alloc-threshold 0.5 old.json new.json   # tolerate +50% allocs/run
 package main
 
 import (
@@ -34,6 +37,7 @@ type cell struct {
 	Variant      string  `json:"variant"`
 	Scale        float64 `json:"scale"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
 }
 
 type benchFile struct {
@@ -95,9 +99,10 @@ func key(c cell) string { return fmt.Sprintf("%s/%s@%g", c.Workload, c.Variant, 
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated cycles/s regression per cell (0.10 = 10%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "maximum tolerated allocs/run growth per cell (0.25 = 25%)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] OLD NEW (files or directories)")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-alloc-threshold f] OLD NEW (files or directories)")
 		os.Exit(2)
 	}
 	fail := func(err error) {
@@ -136,22 +141,34 @@ func main() {
 	}
 	sort.Strings(keys)
 
-	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", oldPath, newPath, *threshold*100)
+	fmt.Printf("benchdiff: %s -> %s (cycles/s threshold %.0f%%, allocs threshold %.0f%%)\n",
+		oldPath, newPath, *threshold*100, *allocThreshold*100)
 	regressed := 0
 	for _, k := range keys {
 		n := cur[k]
 		o, ok := old[k]
 		if !ok || o.CyclesPerSec <= 0 {
-			fmt.Printf("  %-32s %12.0f cycles/s  (new cell)\n", k, n.CyclesPerSec)
+			fmt.Printf("  %-32s %12.0f cycles/s  %9d allocs  (new cell)\n", k, n.CyclesPerSec, n.AllocsPerRun)
 			continue
 		}
 		ratio := n.CyclesPerSec/o.CyclesPerSec - 1
 		mark := ""
 		if ratio < -*threshold {
 			mark = "  << REGRESSION"
+		}
+		// Allocation gate: a v1 artifact without alloc data (0) never fails.
+		allocDelta := 0.0
+		if o.AllocsPerRun > 0 {
+			allocDelta = float64(n.AllocsPerRun)/float64(o.AllocsPerRun) - 1
+			if allocDelta > *allocThreshold {
+				mark += "  << ALLOC REGRESSION"
+			}
+		}
+		if mark != "" {
 			regressed++
 		}
-		fmt.Printf("  %-32s %12.0f -> %12.0f cycles/s  %+6.1f%%%s\n", k, o.CyclesPerSec, n.CyclesPerSec, ratio*100, mark)
+		fmt.Printf("  %-32s %12.0f -> %12.0f cycles/s  %+6.1f%%  %9d -> %9d allocs  %+6.1f%%%s\n",
+			k, o.CyclesPerSec, n.CyclesPerSec, ratio*100, o.AllocsPerRun, n.AllocsPerRun, allocDelta*100, mark)
 	}
 	for k := range old {
 		if _, ok := cur[k]; !ok {
@@ -159,8 +176,9 @@ func main() {
 		}
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed more than %.0f%%\n", regressed, *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed beyond the thresholds (cycles/s %.0f%%, allocs %.0f%%)\n",
+			regressed, *threshold*100, *allocThreshold*100)
 		os.Exit(1)
 	}
-	fmt.Println("benchdiff: no regression beyond threshold")
+	fmt.Println("benchdiff: no regression beyond thresholds")
 }

@@ -152,12 +152,20 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache %s: set count %d is not a power of two", cfg.Name, nsets))
 	}
 	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	// Sets materialize lazily, on the first install that touches them: a
+	// Figure 6 machine carries ~17 MB of line state across its 16 nodes, and
+	// zeroing all of it up front dominated short runs' setup time. A nil set
+	// behaves as all-invalid for lookups (range over nil), and victim
+	// selection materializes it.
 	c.sets = make([][]Line, nsets)
-	backing := make([]Line, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
 	return c
+}
+
+// materialize allocates a set's lines on first use (all invalid).
+func (c *Cache) materialize(idx uint64) []Line {
+	set := make([]Line, c.cfg.Ways)
+	c.sets[idx] = set
+	return set
 }
 
 // HitLatency returns the configured access latency in cycles.
@@ -219,6 +227,10 @@ func (c *Cache) Victim(a memtypes.Addr, allowSpec bool) *Line {
 // entries, cleaning writeback in progress) must not be evicted.
 func (c *Cache) VictimFiltered(a memtypes.Addr, allowSpec bool, locked func(memtypes.Addr) bool) *Line {
 	set := c.setFor(a)
+	if set == nil {
+		set = c.materialize((uint64(a) >> memtypes.BlockShift) & c.setMask)
+		return &set[0] // freshly materialized: every way is invalid
+	}
 	var nonSpec, spec *Line
 	for i := range set {
 		l := &set[i]

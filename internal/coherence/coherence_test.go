@@ -1,4 +1,7 @@
-package coherence
+// The test package is external (with a dot-import for brevity): the network
+// now imports coherence to embed the wire format by value, so a white-box
+// test importing network would be an import cycle.
+package coherence_test
 
 import (
 	"math/rand"
@@ -7,6 +10,8 @@ import (
 	"invisifence/internal/memctrl"
 	"invisifence/internal/memtypes"
 	"invisifence/internal/network"
+
+	. "invisifence/internal/coherence"
 )
 
 // agent is a minimal correct cache controller: one block cached at most,
@@ -32,9 +37,9 @@ func newAgent(id network.NodeID, net *network.Network, home network.NodeID, bloc
 		wbData: make(map[memtypes.Addr]memtypes.BlockData)}
 }
 
-func (a *agent) send(m *Msg) { a.net.Send(a.id, a.home, m) }
+func (a *agent) send(m Msg) { a.net.Send(a.id, a.home, m) }
 
-func (a *agent) handle(src network.NodeID, m *Msg) {
+func (a *agent) handle(src network.NodeID, m Msg) {
 	a.got = append(a.got, m.Kind)
 	switch m.Kind {
 	case DataS, FwdDataS:
@@ -52,7 +57,7 @@ func (a *agent) handle(src network.NodeID, m *Msg) {
 		a.fills++
 	case Inv:
 		a.state = "I"
-		a.net.Send(a.id, src, &Msg{Kind: InvAck, Addr: m.Addr})
+		a.net.Send(a.id, src, Msg{Kind: InvAck, Addr: m.Addr})
 	case FwdGetS:
 		data := a.data
 		if wb, ok := a.wbData[m.Addr]; ok {
@@ -60,8 +65,8 @@ func (a *agent) handle(src network.NodeID, m *Msg) {
 		} else {
 			a.state = "S"
 		}
-		a.net.Send(a.id, m.Req, &Msg{Kind: FwdDataS, Addr: m.Addr, Data: data, HasData: true})
-		a.net.Send(a.id, src, &Msg{Kind: OwnerWBS, Addr: m.Addr, Data: data, HasData: true})
+		a.net.Send(a.id, m.Req, Msg{Kind: FwdDataS, Addr: m.Addr, Data: data, HasData: true})
+		a.net.Send(a.id, src, Msg{Kind: OwnerWBS, Addr: m.Addr, Data: data, HasData: true})
 	case FwdGetX:
 		data := a.data
 		if wb, ok := a.wbData[m.Addr]; ok {
@@ -69,8 +74,8 @@ func (a *agent) handle(src network.NodeID, m *Msg) {
 		} else {
 			a.state = "I"
 		}
-		a.net.Send(a.id, m.Req, &Msg{Kind: FwdDataM, Addr: m.Addr, Data: data, HasData: true})
-		a.net.Send(a.id, src, &Msg{Kind: XferAck, Addr: m.Addr})
+		a.net.Send(a.id, m.Req, Msg{Kind: FwdDataM, Addr: m.Addr, Data: data, HasData: true})
+		a.net.Send(a.id, src, Msg{Kind: XferAck, Addr: m.Addr})
 	case WBAck:
 		delete(a.wbData, m.Addr)
 	}
@@ -78,7 +83,7 @@ func (a *agent) handle(src network.NodeID, m *Msg) {
 
 func (a *agent) evict() {
 	a.wbData[a.block] = a.data
-	a.send(&Msg{Kind: PutX, Addr: a.block, Data: a.data, HasData: true, Dirty: a.state == "M" && a.dirty})
+	a.send(Msg{Kind: PutX, Addr: a.block, Data: a.data, HasData: true, Dirty: a.state == "M" && a.dirty})
 	a.state = "I"
 }
 
@@ -116,7 +121,7 @@ func (h *harness) step() {
 		if !ok {
 			break
 		}
-		h.dir.Handle(h.now, m.Src, m.Payload.(*Msg))
+		h.dir.Handle(h.now, m.Src, m.Payload)
 	}
 	h.dir.Tick(h.now)
 	for id, a := range h.agents {
@@ -125,7 +130,7 @@ func (h *harness) step() {
 			if !ok {
 				break
 			}
-			a.handle(m.Src, m.Payload.(*Msg))
+			a.handle(m.Src, m.Payload)
 		}
 	}
 }
@@ -141,7 +146,7 @@ const blk = memtypes.Addr(0x1000)
 func TestGetSGrantsExclusiveWhenUnshared(t *testing.T) {
 	h := newHarness(t, 2)
 	h.mem.WriteWord(blk, 7)
-	h.agents[1].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
 	if h.agents[1].state != "E" {
 		t.Fatalf("agent1 state %s, want E (MESI exclusive-clean grant)", h.agents[1].state)
@@ -153,9 +158,9 @@ func TestGetSGrantsExclusiveWhenUnshared(t *testing.T) {
 
 func TestSecondGetSShares(t *testing.T) {
 	h := newHarness(t, 2)
-	h.agents[1].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
-	h.agents[2].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[2].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
 	if h.agents[2].state != "S" {
 		t.Fatalf("agent2 state %s, want S", h.agents[2].state)
@@ -168,11 +173,11 @@ func TestSecondGetSShares(t *testing.T) {
 
 func TestGetXInvalidatesSharers(t *testing.T) {
 	h := newHarness(t, 3)
-	h.agents[1].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
-	h.agents[2].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[2].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
-	h.agents[3].send(&Msg{Kind: GetX, Addr: blk})
+	h.agents[3].send(Msg{Kind: GetX, Addr: blk})
 	h.run(60)
 	if h.agents[3].state != "M" && h.agents[3].state != "E" {
 		t.Fatalf("agent3 state %s, want writable", h.agents[3].state)
@@ -187,13 +192,13 @@ func TestGetXInvalidatesSharers(t *testing.T) {
 
 func TestOwnershipTransferCarriesDirtyData(t *testing.T) {
 	h := newHarness(t, 2)
-	h.agents[1].send(&Msg{Kind: GetX, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetX, Addr: blk})
 	h.run(40)
 	// Agent1 writes locally (silent E->M).
 	h.agents[1].data[0] = 99
 	h.agents[1].state = "M"
 	h.agents[1].dirty = true
-	h.agents[2].send(&Msg{Kind: GetX, Addr: blk})
+	h.agents[2].send(Msg{Kind: GetX, Addr: blk})
 	h.run(60)
 	if h.agents[2].state != "M" || h.agents[2].data[0] != 99 {
 		t.Fatalf("dirty data lost in 3-hop transfer: %s %d", h.agents[2].state, h.agents[2].data[0])
@@ -202,11 +207,11 @@ func TestOwnershipTransferCarriesDirtyData(t *testing.T) {
 
 func TestUpgradeGrantsWithoutData(t *testing.T) {
 	h := newHarness(t, 2)
-	h.agents[1].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
-	h.agents[2].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[2].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
-	h.agents[1].send(&Msg{Kind: Upgrade, Addr: blk})
+	h.agents[1].send(Msg{Kind: Upgrade, Addr: blk})
 	h.run(60)
 	if h.agents[1].state != "E" {
 		t.Fatalf("agent1 state %s after upgrade", h.agents[1].state)
@@ -228,7 +233,7 @@ func TestUpgradeGrantsWithoutData(t *testing.T) {
 
 func TestWritebackUpdatesMemory(t *testing.T) {
 	h := newHarness(t, 2)
-	h.agents[1].send(&Msg{Kind: GetX, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetX, Addr: blk})
 	h.run(40)
 	h.agents[1].data[0] = 55
 	h.agents[1].state = "M"
@@ -242,7 +247,7 @@ func TestWritebackUpdatesMemory(t *testing.T) {
 		t.Fatal("WBAck did not clear the writeback buffer")
 	}
 	// A later GetS must come from memory (Unowned).
-	h.agents[2].send(&Msg{Kind: GetS, Addr: blk})
+	h.agents[2].send(Msg{Kind: GetS, Addr: blk})
 	h.run(40)
 	if h.agents[2].data[0] != 55 {
 		t.Fatal("stale data after writeback")
@@ -254,14 +259,14 @@ func TestWritebackRaceServedFromWBBuffer(t *testing.T) {
 	// already in flight. The Fwd must be served from the WB buffer and the
 	// stale PutX acknowledged without clobbering the new owner's data.
 	h := newHarness(t, 2)
-	h.agents[1].send(&Msg{Kind: GetX, Addr: blk})
+	h.agents[1].send(Msg{Kind: GetX, Addr: blk})
 	h.run(40)
 	h.agents[1].data[0] = 11
 	h.agents[1].state = "M"
 	h.agents[1].dirty = true
 	// Both race: the GetX is sent first so the directory forwards to the
 	// (just-evicting) owner.
-	h.agents[2].send(&Msg{Kind: GetX, Addr: blk})
+	h.agents[2].send(Msg{Kind: GetX, Addr: blk})
 	h.agents[1].evict()
 	h.run(80)
 	if h.agents[2].state != "M" || h.agents[2].data[0] != 11 {
@@ -294,7 +299,7 @@ func TestWriteSerialization(t *testing.T) {
 			a.dirty = true
 		} else if !a.pending {
 			a.pending = true
-			a.send(&Msg{Kind: GetX, Addr: blk})
+			a.send(Msg{Kind: GetX, Addr: blk})
 		}
 		h.run(25)
 	}
@@ -327,7 +332,7 @@ func TestSWMRInvariant(t *testing.T) {
 				kind = GetX
 			}
 			a.pending = true
-			a.send(&Msg{Kind: kind, Addr: blk})
+			a.send(Msg{Kind: kind, Addr: blk})
 		}
 		h.run(30) // quiesce
 		writable, readable := 0, 0

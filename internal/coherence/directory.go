@@ -5,7 +5,6 @@ import (
 
 	"invisifence/internal/memctrl"
 	"invisifence/internal/memtypes"
-	"invisifence/internal/network"
 )
 
 // dirState is the stable directory state of a block.
@@ -38,10 +37,11 @@ const (
 	phaseWaitOwner                 // waiting for OwnerWBS/XferAck from the owner
 )
 
-// txn is one in-flight transaction at the directory.
+// txn is one in-flight transaction at the directory. It is embedded by value
+// in its entry (txnBox), so starting a transaction allocates nothing.
 type txn struct {
 	kind     MsgKind // GetS, GetX, or Upgrade (after fallback rewriting)
-	req      network.NodeID
+	req      memtypes.NodeID
 	phase    txnPhase
 	memReady uint64 // cycle the memory read completes (phaseWaitMem/WaitAcks)
 	needMem  bool
@@ -50,33 +50,164 @@ type txn struct {
 	grantX   bool // Upgrade fast path: grant permission without data
 }
 
-// entry is the directory's record for one block.
-type entry struct {
-	state    dirState
-	owner    network.NodeID
-	sharers  uint64 // bitmask over nodes
-	cur      *txn
-	waitq    []*queuedReq
-	inActive bool
-	addr     memtypes.Addr
+// queuedReq is one waiting request in an entry's queue. Held by value: the
+// wait queue's backing array survives entry reuse, so steady-state queueing
+// allocates nothing.
+type queuedReq struct {
+	src memtypes.NodeID
+	msg Msg
 }
 
-type queuedReq struct {
-	src network.NodeID
-	msg *Msg
+// entry is the directory's record for one block. Entries live in
+// chunk-allocated arenas (stable pointers) and recycle through an intrusive
+// free list: a block whose record returns to the zero coherence state
+// (dirInvalid, no transaction, empty queue) releases its entry, and the next
+// request for any block reuses it — with the wait queue's capacity kept, so
+// acquire/release churn on hot blocks settles at zero heap allocations
+// (TestDirectoryChurnAllocFree).
+type entry struct {
+	state    dirState
+	owner    memtypes.NodeID
+	sharers  uint64 // bitmask over nodes
+	cur      *txn   // nil when idle; points at txnBox while a txn is live
+	txnBox   txn
+	waitq    []queuedReq
+	inActive bool
+	addr     memtypes.Addr
+	freeNext *entry // intrusive free-list link (meaningful only when released)
+}
+
+// entryChunkSize is the arena growth quantum. Chunks are never freed; the
+// arena's high-water mark is the maximum number of simultaneously live
+// blocks, which block-address locality keeps far below the map-per-block
+// footprint the previous implementation grew without bound.
+const entryChunkSize = 64
+
+// dirTable is an open-addressed (linear-probe, backward-shift-delete) index
+// from block address to entry. It replaces the built-in map on the
+// per-message path: no per-insert allocation, and deletion (entry release)
+// leaves no tombstones to accumulate.
+type dirTable struct {
+	keys []memtypes.Addr
+	vals []*entry
+	n    int
+}
+
+func (t *dirTable) slot(a memtypes.Addr) uint64 {
+	// Fibonacci hashing of the block number spreads the sequential block
+	// addresses workloads touch across the table.
+	return (uint64(a>>memtypes.BlockShift) * 0x9E3779B97F4A7C15) >> 32 & uint64(len(t.vals)-1)
+}
+
+func (t *dirTable) get(a memtypes.Addr) *entry {
+	if len(t.vals) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.vals) - 1)
+	for i := t.slot(a); ; i = (i + 1) & mask {
+		if t.vals[i] == nil {
+			return nil
+		}
+		if t.keys[i] == a {
+			return t.vals[i]
+		}
+	}
+}
+
+func (t *dirTable) put(a memtypes.Addr, e *entry) {
+	if t.n*4 >= len(t.vals)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.vals) - 1)
+	for i := t.slot(a); ; i = (i + 1) & mask {
+		if t.vals[i] == nil {
+			t.keys[i], t.vals[i] = a, e
+			t.n++
+			return
+		}
+		if t.keys[i] == a {
+			panic(fmt.Sprintf("coherence: duplicate directory entry %#x", uint64(a)))
+		}
+	}
+}
+
+func (t *dirTable) grow() {
+	size := 64
+	if len(t.vals) > 0 {
+		size = len(t.vals) * 2
+	}
+	keys, vals := t.keys, t.vals
+	t.keys = make([]memtypes.Addr, size)
+	t.vals = make([]*entry, size)
+	t.n = 0
+	for i := range vals {
+		if vals[i] != nil {
+			t.put(keys[i], vals[i])
+		}
+	}
+}
+
+// del removes a's slot with the standard backward-shift so probe chains stay
+// intact without tombstones.
+func (t *dirTable) del(a memtypes.Addr) {
+	mask := uint64(len(t.vals) - 1)
+	i := t.slot(a)
+	for {
+		if t.vals[i] == nil {
+			return // not present
+		}
+		if t.keys[i] == a {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		t.vals[i] = nil
+		for {
+			j = (j + 1) & mask
+			if t.vals[j] == nil {
+				t.n--
+				return
+			}
+			h := t.slot(t.keys[j])
+			// The element at j may fill slot i unless its home slot lies
+			// cyclically in (i, j] — then it is already as close to home as
+			// the probe chain allows.
+			inIJ := false
+			if i <= j {
+				inIJ = i < h && h <= j
+			} else {
+				inIJ = i < h || h <= j
+			}
+			if !inIJ {
+				break
+			}
+		}
+		t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+		i = j
+	}
 }
 
 // Directory is the home directory slice at one node. It owns the node's
-// memory controller and communicates with cache controllers over the
-// network.
+// memory controller and communicates with cache controllers through a Port
+// (the torus, or in the parallel runner the node's network shard).
+//
+// All pooled state — the entry arena, free list, and table — is private to
+// one Directory, and each Directory is driven only by its owning node's
+// goroutine between barriers, so the parallel runner shares nothing through
+// the pools (DESIGN.md §9; enforced by the sim-race CI job).
 type Directory struct {
-	id      network.NodeID
-	nodes   int
-	mem     *memctrl.Memory
-	net     *network.Network
-	entries map[memtypes.Addr]*entry
-	active  []*entry // entries with an in-flight transaction, insertion order
-	now     uint64
+	id    memtypes.NodeID
+	nodes int
+	mem   *memctrl.Memory
+	port  Port
+
+	table  dirTable
+	chunks [][]entry // arena: stable entry storage
+	free   *entry    // intrusive free list of released entries
+	active []*entry  // entries with an in-flight transaction, insertion order
+	now    uint64
 
 	// Stats.
 	Transactions uint64
@@ -86,40 +217,70 @@ type Directory struct {
 }
 
 // NewDirectory creates the directory slice for node id.
-func NewDirectory(id network.NodeID, nodes int, mem *memctrl.Memory, net *network.Network) *Directory {
+func NewDirectory(id memtypes.NodeID, nodes int, mem *memctrl.Memory, port Port) *Directory {
 	return &Directory{
-		id:      id,
-		nodes:   nodes,
-		mem:     mem,
-		net:     net,
-		entries: make(map[memtypes.Addr]*entry),
+		id:    id,
+		nodes: nodes,
+		mem:   mem,
+		port:  port,
 	}
 }
 
+// entryFor returns the live entry for a block, acquiring a pooled one (in
+// the zero coherence state) if the block has none.
 func (d *Directory) entryFor(a memtypes.Addr) *entry {
-	e, ok := d.entries[a]
-	if !ok {
-		e = &entry{addr: a}
-		d.entries[a] = e
+	if e := d.table.get(a); e != nil {
+		return e
 	}
+	e := d.free
+	if e == nil {
+		chunk := make([]entry, entryChunkSize)
+		d.chunks = append(d.chunks, chunk)
+		for i := range chunk {
+			chunk[i].freeNext = d.free
+			d.free = &chunk[i]
+		}
+		e = d.free
+	}
+	d.free = e.freeNext
+	wq := e.waitq[:0] // keep the queue's capacity across reuse
+	*e = entry{addr: a, waitq: wq}
+	d.table.put(a, e)
 	return e
 }
 
-func (d *Directory) send(dst network.NodeID, m *Msg) {
-	Trace(d.now, fmt.Sprintf("dir%d->%d", d.id, dst), m, "")
-	d.net.Send(d.id, dst, m)
+// releaseIfIdle returns an entry to the free list once it again describes
+// the zero coherence state — exactly what entryFor would recreate — so
+// keeping it indexed would be pure memory growth. Entries on the active list
+// are left for Tick's prune to release (the list holds the pointer).
+func (d *Directory) releaseIfIdle(e *entry) {
+	if e.cur != nil || e.inActive || len(e.waitq) != 0 || e.state != dirInvalid {
+		return
+	}
+	d.table.del(e.addr)
+	e.freeNext = d.free
+	d.free = e
+}
+
+func (d *Directory) send(dst memtypes.NodeID, m Msg) {
+	if TraceOn() {
+		Trace(d.now, fmt.Sprintf("dir%d->%d", d.id, dst), m, "")
+	}
+	d.port.Send(d.id, dst, m)
 }
 
 // Handle processes one protocol request arriving at this directory.
-func (d *Directory) Handle(now uint64, src network.NodeID, m *Msg) {
+func (d *Directory) Handle(now uint64, src memtypes.NodeID, m Msg) {
 	d.now = now
-	Trace(now, fmt.Sprintf("dir%d<-%d", d.id, src), m, d.StateOf(m.Addr))
+	if TraceOn() {
+		Trace(now, fmt.Sprintf("dir%d<-%d", d.id, src), m, d.StateOf(m.Addr))
+	}
 	a := m.Addr
 	e := d.entryFor(a)
 	switch m.Kind {
 	case GetS, GetX, Upgrade:
 		if e.cur != nil {
-			e.waitq = append(e.waitq, &queuedReq{src, m})
+			e.waitq = append(e.waitq, queuedReq{src, m})
 			d.Queued++
 			return
 		}
@@ -135,12 +296,14 @@ func (d *Directory) Handle(now uint64, src network.NodeID, m *Msg) {
 	default:
 		panic(fmt.Sprintf("directory %d: unexpected message %v from %d", d.id, m, src))
 	}
+	d.releaseIfIdle(e)
 }
 
 // start begins a new transaction for a block known to be idle.
-func (d *Directory) start(a memtypes.Addr, e *entry, src network.NodeID, m *Msg) {
+func (d *Directory) start(a memtypes.Addr, e *entry, src memtypes.NodeID, m Msg) {
 	d.Transactions++
-	t := &txn{kind: m.Kind, req: src}
+	e.txnBox = txn{kind: m.Kind, req: src}
+	t := &e.txnBox
 	e.cur = t
 	if !e.inActive {
 		e.inActive = true
@@ -167,7 +330,7 @@ func (d *Directory) start(a memtypes.Addr, e *entry, src network.NodeID, m *Msg)
 		case dirOwned:
 			t.phase = phaseWaitOwner
 			d.Forwards++
-			d.send(e.owner, &Msg{Kind: FwdGetS, Addr: a, Req: src})
+			d.send(e.owner, Msg{Kind: FwdGetS, Addr: a, Req: src})
 		}
 	case GetX, Upgrade:
 		switch e.state {
@@ -183,12 +346,12 @@ func (d *Directory) start(a memtypes.Addr, e *entry, src network.NodeID, m *Msg)
 			}
 			for n := 0; n < d.nodes; n++ {
 				bit := uint64(1) << uint(n)
-				if e.sharers&bit == 0 || network.NodeID(n) == src {
+				if e.sharers&bit == 0 || memtypes.NodeID(n) == src {
 					continue
 				}
 				t.needAcks++
 				d.Invals++
-				d.send(network.NodeID(n), &Msg{Kind: Inv, Addr: a})
+				d.send(memtypes.NodeID(n), Msg{Kind: Inv, Addr: a})
 			}
 			if t.needAcks == 0 && !t.needMem {
 				d.finish(a, e)
@@ -200,7 +363,7 @@ func (d *Directory) start(a memtypes.Addr, e *entry, src network.NodeID, m *Msg)
 		case dirOwned:
 			t.phase = phaseWaitOwner
 			d.Forwards++
-			d.send(e.owner, &Msg{Kind: FwdGetX, Addr: a, Req: src})
+			d.send(e.owner, Msg{Kind: FwdGetX, Addr: a, Req: src})
 		}
 	}
 	d.tickTxn(a, e)
@@ -228,6 +391,7 @@ func (d *Directory) Tick(now uint64) {
 			live = append(live, e)
 		} else {
 			e.inActive = false
+			d.releaseIfIdle(e)
 		}
 	}
 	for i := len(live); i < len(d.active); i++ {
@@ -293,18 +457,18 @@ func (d *Directory) finish(a memtypes.Addr, e *entry) {
 			e.state = dirOwned
 			e.owner = t.req
 			e.sharers = 0
-			d.send(t.req, &Msg{Kind: DataE, Addr: a, Data: data, HasData: true})
+			d.send(t.req, Msg{Kind: DataE, Addr: a, Data: data, HasData: true})
 		} else {
 			e.state = dirShared
 			e.sharers |= 1 << uint(t.req)
-			d.send(t.req, &Msg{Kind: DataS, Addr: a, Data: data, HasData: true})
+			d.send(t.req, Msg{Kind: DataS, Addr: a, Data: data, HasData: true})
 		}
 	case GetX, Upgrade:
 		if t.grantX {
-			d.send(t.req, &Msg{Kind: GrantX, Addr: a})
+			d.send(t.req, Msg{Kind: GrantX, Addr: a})
 		} else {
 			data := d.mem.ReadBlock(a)
-			d.send(t.req, &Msg{Kind: DataM, Addr: a, Data: data, HasData: true})
+			d.send(t.req, Msg{Kind: DataM, Addr: a, Data: data, HasData: true})
 		}
 		e.state = dirOwned
 		e.owner = t.req
@@ -321,7 +485,6 @@ func (d *Directory) complete(a memtypes.Addr, e *entry) {
 	for len(e.waitq) > 0 && e.cur == nil {
 		q := e.waitq[0]
 		copy(e.waitq, e.waitq[1:])
-		e.waitq[len(e.waitq)-1] = nil
 		e.waitq = e.waitq[:len(e.waitq)-1]
 		if q.msg.Kind == PutX {
 			d.handlePutX(a, e, q.src, q.msg)
@@ -331,12 +494,12 @@ func (d *Directory) complete(a memtypes.Addr, e *entry) {
 	}
 }
 
-func (d *Directory) handlePutX(a memtypes.Addr, e *entry, src network.NodeID, m *Msg) {
+func (d *Directory) handlePutX(a memtypes.Addr, e *entry, src memtypes.NodeID, m Msg) {
 	if e.cur != nil {
 		// A transaction is in flight; the Fwd to the (evicting) owner is
 		// served from its writeback buffer, and by the time this PutX is
 		// processed, ownership has moved on. Queue it for ordering.
-		e.waitq = append(e.waitq, &queuedReq{src, m})
+		e.waitq = append(e.waitq, queuedReq{src, m})
 		d.Queued++
 		return
 	}
@@ -350,10 +513,10 @@ func (d *Directory) handlePutX(a memtypes.Addr, e *entry, src network.NodeID, m 
 	}
 	// A stale PutX (ownership already transferred) is acknowledged without
 	// touching memory: the current owner's data supersedes it.
-	d.send(src, &Msg{Kind: WBAck, Addr: a})
+	d.send(src, Msg{Kind: WBAck, Addr: a})
 }
 
-func (d *Directory) handleInvAck(a memtypes.Addr, e *entry, src network.NodeID) {
+func (d *Directory) handleInvAck(a memtypes.Addr, e *entry, src memtypes.NodeID) {
 	t := e.cur
 	if t == nil || t.phase != phaseWaitAcks {
 		panic(fmt.Sprintf("directory %d: unexpected InvAck@%#x from %d", d.id, uint64(a), src))
@@ -362,7 +525,7 @@ func (d *Directory) handleInvAck(a memtypes.Addr, e *entry, src network.NodeID) 
 	d.tickTxn(a, e)
 }
 
-func (d *Directory) handleOwnerWBS(a memtypes.Addr, e *entry, src network.NodeID, m *Msg) {
+func (d *Directory) handleOwnerWBS(a memtypes.Addr, e *entry, src memtypes.NodeID, m Msg) {
 	t := e.cur
 	if t == nil || t.phase != phaseWaitOwner || t.kind != GetS {
 		panic(fmt.Sprintf("directory %d: unexpected OwnerWBS@%#x from %d", d.id, uint64(a), src))
@@ -375,7 +538,7 @@ func (d *Directory) handleOwnerWBS(a memtypes.Addr, e *entry, src network.NodeID
 	d.complete(a, e)
 }
 
-func (d *Directory) handleXferAck(a memtypes.Addr, e *entry, src network.NodeID) {
+func (d *Directory) handleXferAck(a memtypes.Addr, e *entry, src memtypes.NodeID) {
 	t := e.cur
 	if t == nil || t.phase != phaseWaitOwner {
 		panic(fmt.Sprintf("directory %d: unexpected XferAck@%#x from %d", d.id, uint64(a), src))
@@ -386,7 +549,10 @@ func (d *Directory) handleXferAck(a memtypes.Addr, e *entry, src network.NodeID)
 	d.complete(a, e)
 }
 
-// DebugString dumps in-flight transaction state for diagnostics.
+// DebugString dumps in-flight transaction state for diagnostics. Iteration
+// order is the active list's insertion order — a deterministic property of
+// the simulated history, unchanged by entry pooling (the churn test pins
+// it).
 func (d *Directory) DebugString() string {
 	out := ""
 	for _, e := range d.active {
@@ -415,8 +581,8 @@ func (d *Directory) PendingTransactions() int {
 
 // StateOf returns a debug string for a block's directory state.
 func (d *Directory) StateOf(a memtypes.Addr) string {
-	e, ok := d.entries[memtypes.BlockAddr(a)]
-	if !ok {
+	e := d.table.get(memtypes.BlockAddr(a))
+	if e == nil {
 		return "I"
 	}
 	s := e.state.String()
@@ -427,9 +593,9 @@ func (d *Directory) StateOf(a memtypes.Addr) string {
 }
 
 // Owner returns the current owner if the block is in the Owned state.
-func (d *Directory) Owner(a memtypes.Addr) (network.NodeID, bool) {
-	e, ok := d.entries[memtypes.BlockAddr(a)]
-	if !ok || e.state != dirOwned {
+func (d *Directory) Owner(a memtypes.Addr) (memtypes.NodeID, bool) {
+	e := d.table.get(memtypes.BlockAddr(a))
+	if e == nil || e.state != dirOwned {
 		return 0, false
 	}
 	return e.owner, true
@@ -437,8 +603,8 @@ func (d *Directory) Owner(a memtypes.Addr) (network.NodeID, bool) {
 
 // Sharers returns the sharer bitmask if the block is in the Shared state.
 func (d *Directory) Sharers(a memtypes.Addr) uint64 {
-	e, ok := d.entries[memtypes.BlockAddr(a)]
-	if !ok {
+	e := d.table.get(memtypes.BlockAddr(a))
+	if e == nil {
 		return 0
 	}
 	return e.sharers

@@ -15,7 +15,6 @@ import (
 	"fmt"
 
 	"invisifence/internal/memtypes"
-	"invisifence/internal/network"
 )
 
 // MsgKind enumerates every protocol message type.
@@ -127,22 +126,36 @@ func (k MsgKind) IsDirRequest() bool {
 	return false
 }
 
-// Msg is the payload carried over the network for every protocol message.
+// Msg is the single wire format of the simulated machine: every protocol
+// message carried over the interconnect, as a plain value. The network embeds
+// it inline in network.Message (no interface box, no per-message heap
+// allocation); this package deliberately does not import the network, so the
+// dependency runs transport -> wire format, never the other way (DESIGN.md
+// §9).
 type Msg struct {
 	Kind    MsgKind
 	Addr    memtypes.Addr // always block-aligned
 	Data    memtypes.BlockData
 	HasData bool
-	Dirty   bool           // PutX: memory must be updated
-	Req     network.NodeID // FwdGetS/FwdGetX: the original requestor
+	Dirty   bool            // PutX: memory must be updated
+	Req     memtypes.NodeID // FwdGetS/FwdGetX: the original requestor
 }
 
-func (m *Msg) String() string {
+func (m Msg) String() string {
 	return fmt.Sprintf("%s@%#x", m.Kind, uint64(m.Addr))
+}
+
+// Port is the directory's outbound link into the interconnect. The network
+// (whole torus or one shard) implements it; taking an interface here rather
+// than the concrete type keeps this package below the network in the import
+// graph. Dispatch cost is one interface call per send — no allocation, since
+// Msg travels by value.
+type Port interface {
+	Send(src, dst memtypes.NodeID, m Msg)
 }
 
 // HomeOf returns the home node for a block address, interleaving blocks
 // round-robin across nodes.
-func HomeOf(a memtypes.Addr, nodes int) network.NodeID {
-	return network.NodeID(int(a>>memtypes.BlockShift) % nodes)
+func HomeOf(a memtypes.Addr, nodes int) memtypes.NodeID {
+	return memtypes.NodeID(int(a>>memtypes.BlockShift) % nodes)
 }

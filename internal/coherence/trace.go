@@ -13,6 +13,13 @@ var TraceAddr memtypes.Addr
 // TraceSink receives trace lines; defaults to stdout printing.
 var TraceSink = func(s string) { fmt.Println(s) }
 
+// TraceOn reports whether tracing is enabled at all. Hot paths must gate
+// their Trace/TraceEvent calls on it: the call sites' fmt.Sprintf arguments
+// and ...any boxing allocate before the callee's own early return could
+// skip the work, and those allocations alone once dominated the simulator's
+// heap profile.
+func TraceOn() bool { return TraceAddr != 0 }
+
 // TraceAlways logs a free-form event whenever tracing is enabled at all.
 func TraceAlways(now uint64, format string, args ...any) {
 	if TraceAddr == 0 {
@@ -30,7 +37,7 @@ func TraceEvent(now uint64, a memtypes.Addr, format string, args ...any) {
 }
 
 // Trace logs a protocol event for the traced block.
-func Trace(now uint64, who string, m *Msg, detail string) {
+func Trace(now uint64, who string, m Msg, detail string) {
 	if TraceAddr == 0 || memtypes.BlockAddr(m.Addr) != memtypes.BlockAddr(TraceAddr) {
 		return
 	}

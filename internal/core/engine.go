@@ -373,7 +373,10 @@ func (e *Engine) commitEpoch(epoch int) {
 		}
 	}
 	e.epochs[epoch].active = false
-	e.order = e.order[1:]
+	// Shift in place: e.order[1:] would walk the slice off its backing array
+	// and force Begin's append to re-allocate every MaxCheckpoints commits.
+	copy(e.order, e.order[1:])
+	e.order = e.order[:len(e.order)-1]
 }
 
 // manageChunks opens and closes continuous-mode chunks.

@@ -151,12 +151,11 @@ type robEntry struct {
 	dataVal memtypes.Word // staged store data
 
 	// Load bookkeeping.
-	valueOK   bool   // value bound (may still be before doneAt)
-	fwdSQ     bool   // value forwarded from an in-flight (in-window) store
-	fwdSeq    uint64 // seq of the forwarding store
-	fromL1    bool   // value came from the memory system (SB/L1/fill)
-	pendFill  bool   // waiting for FillLoad
-	issueport bool   // consumed a memory port when issued
+	valueOK  bool   // value bound (may still be before doneAt)
+	fwdSQ    bool   // value forwarded from an in-flight (in-window) store
+	fwdSeq   uint64 // seq of the forwarding store
+	fromL1   bool   // value came from the memory system (SB/L1/fill)
+	pendFill bool   // waiting for FillLoad
 
 	// Operand capture. srcSeq validates srcRef against slot reuse: if the
 	// slot no longer holds that seq, the producer retired and its value is
@@ -166,6 +165,58 @@ type robEntry struct {
 	srcReg [3]isa.Reg
 	opVal  [3]memtypes.Word
 	opOK   [3]bool
+
+	// Issue-readiness memo (valid while wakeGen == Core.opGen): the entry
+	// cannot pass operandsReady before wakeAt, by the same time-based bound
+	// issueEvent computes. Turns the per-cycle issue scan's operand walk
+	// into two compares for entries waiting on known completion times.
+	// A NoEvent bound (producer not yet issued) is additionally versioned
+	// by wakeFlow: any issue anywhere can start such a producer and give
+	// the chain a finite completion time, so those memos expire whenever a
+	// scan issues something. Finite bounds cannot be accelerated by issues
+	// — completion times are fixed at issue — only by the disturb events.
+	wakeAt   uint64
+	wakeGen  uint64
+	wakeFlow uint64
+}
+
+// slotQueue is a FIFO of ROB slot indices with O(1) head removal: a head
+// offset instead of re-slicing, with amortized compaction, so the retire-
+// side pops neither walk the queue off its backing array (which forced a
+// reallocation every few dozen pushes) nor shift the whole queue per pop.
+type slotQueue struct {
+	buf  []int
+	head int
+}
+
+// slots returns the live entries in order (do not retain across mutation).
+func (q *slotQueue) slots() []int { return q.buf[q.head:] }
+
+func (q *slotQueue) len() int { return len(q.buf) - q.head }
+
+func (q *slotQueue) push(s int) { q.buf = append(q.buf, s) }
+
+func (q *slotQueue) reset() { q.buf = q.buf[:0]; q.head = 0 }
+
+// remove deletes the entry at index i of slots().
+func (q *slotQueue) remove(i int) {
+	live := q.buf[q.head:]
+	copy(live[i:], live[i+1:])
+	q.buf = q.buf[:len(q.buf)-1]
+}
+
+// popHead drops the first live entry, compacting once the dead prefix
+// dominates (amortized O(1), bounded memory).
+func (q *slotQueue) popHead() {
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.reset()
+	case q.head >= 32 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
 }
 
 // Core is one simulated processor core.
@@ -192,8 +243,8 @@ type Core struct {
 
 	// LQ/SQ: slots of in-flight loads and stores/atomics in program
 	// order, and the list of executing entries awaiting completion.
-	loadQ  []int
-	storeQ []int
+	loadQ  slotQueue
+	storeQ slotQueue
 	execQ  []int
 
 	// dispQ holds exactly the not-yet-issued (sDispatched) slots in program
@@ -201,7 +252,7 @@ type Core struct {
 	// walking the whole ROB every cycle. Entries are appended at dispatch,
 	// removed the moment they leave sDispatched (issue, head retirement of
 	// Halt/Fence, squash rebuild).
-	dispQ []int
+	dispQ slotQueue
 	// issueScratch is the reusable per-cycle snapshot the issue scan
 	// iterates, so mid-scan squashes (which rebuild dispQ) cannot invalidate
 	// the iteration.
@@ -209,6 +260,26 @@ type Core struct {
 
 	pred     []uint8 // bimodal 2-bit counters
 	predMask uint32
+
+	// execMin is a conservative lower bound on the earliest doneAt of any
+	// execQ entry (never late: queueExec lowers it, a promote pass
+	// recomputes it from survivors, squashes only remove entries). Most
+	// cycles promote is a single compare against it.
+	execMin uint64
+
+	// Issue-horizon cache. A full issue scan that starts nothing proves —
+	// by the same read-only operand analysis Core.NextEvent exposes to the
+	// idle-skip scheduler — that no dispatched entry can become issueable
+	// before issueWake without an outside event (a fill, a squash, a new
+	// dispatch, an atomic retiring a value). Until then the per-cycle scan
+	// (snapshot copy + operand walk over up to IssueWindow entries) is
+	// skipped entirely; every outside event clears the flag (disturbIssue).
+	// Purely a memoization: issue order and results are bit-identical.
+	// opGen versions the per-entry wakeAt memos; disturbIssue bumps it.
+	issueQuiet bool
+	issueWake  uint64
+	opGen      uint64
+	flowGen    uint64 // counts scans that issued; versions NoEvent memos
 
 	// Per-cycle outputs for the node's accounting.
 	RetiredThisCycle int
@@ -236,6 +307,7 @@ func New(id int, cfg Config, prog *isa.Program, regs [isa.NumRegs]memtypes.Word,
 	}
 	c.archRegs = regs
 	c.archRegs[isa.R0] = 0
+	c.execMin = memtypes.NoEvent
 	for i := range c.rename {
 		c.rename[i] = -1
 	}
@@ -296,10 +368,11 @@ func (c *Core) Tick(now uint64) {
 // Only entries on the exec queue (issued with a completion time) are
 // examined; squashed entries are dropped by seq mismatch.
 func (c *Core) promote() {
-	if len(c.execQ) == 0 {
-		return
+	if len(c.execQ) == 0 || c.now < c.execMin {
+		return // nothing can have completed yet
 	}
 	live := c.execQ[:0]
+	next := uint64(memtypes.NoEvent)
 	for _, s := range c.execQ {
 		e := &c.rob[s]
 		if !e.used || e.state != sIssued || e.pendFill {
@@ -310,12 +383,19 @@ func (c *Core) promote() {
 			continue
 		}
 		live = append(live, s)
+		next = min(next, e.doneAt)
 	}
 	c.execQ = live
+	c.execMin = next
 }
 
 // queueExec registers an issued entry for later completion.
-func (c *Core) queueExec(slot int) { c.execQ = append(c.execQ, slot) }
+func (c *Core) queueExec(slot int) {
+	c.execQ = append(c.execQ, slot)
+	if d := c.rob[slot].doneAt; d < c.execMin {
+		c.execMin = d
+	}
+}
 
 // ---------------------------------------------------------------- retire
 
@@ -413,19 +493,20 @@ func (c *Core) commitEntry(e *robEntry) {
 			c.rename[in.Rd] = -1
 		}
 	}
-	if len(c.loadQ) > 0 && c.loadQ[0] == slot {
-		c.loadQ = c.loadQ[1:]
+	if c.loadQ.len() > 0 && c.loadQ.slots()[0] == slot {
+		c.loadQ.popHead()
 	}
-	if len(c.storeQ) > 0 && c.storeQ[0] == slot {
-		c.storeQ = c.storeQ[1:]
+	if c.storeQ.len() > 0 && c.storeQ.slots()[0] == slot {
+		c.storeQ.popHead()
 	}
 	// Halt and Fence can retire straight out of sDispatched (retirement
 	// policy handles them at the head before issue ever sees them); the slot
 	// is the oldest instruction, so if it is still queued it is dispQ[0].
-	if len(c.dispQ) > 0 && c.dispQ[0] == slot {
-		c.dispQ = c.dispQ[1:]
+	if c.dispQ.len() > 0 && c.dispQ.slots()[0] == slot {
+		c.dispQ.popHead()
 	}
 	c.pc = e.predNext // committed successor (mispredicts were squashed at execute)
+	c.disturbIssue()  // an atomic's value binds at retirement; the window moves
 	e.used = false
 	c.head = (c.head + 1) % c.cfg.ROBSize
 	c.count--
@@ -437,9 +518,13 @@ func (c *Core) commitEntry(e *robEntry) {
 // ----------------------------------------------------------------- issue
 
 func (c *Core) issue() {
-	if len(c.dispQ) == 0 {
+	if c.dispQ.len() == 0 {
 		return
 	}
+	if c.issueQuiet && c.now < c.issueWake {
+		return
+	}
+	c.issueQuiet = false
 	issued := 0
 	memIssued := 0
 	window := c.cfg.IssueWindow
@@ -450,7 +535,7 @@ func (c *Core) issue() {
 	// Iterate a snapshot: mid-scan squashes (replays, mispredicts) rebuild
 	// dispQ, but squashed slots cannot be reused until fetch runs, so stale
 	// snapshot entries are safely skipped by the used/state check.
-	scratch := append(c.issueScratch[:0], c.dispQ...)
+	scratch := append(c.issueScratch[:0], c.dispQ.slots()...)
 	c.issueScratch = scratch
 	for _, s := range scratch {
 		e := &c.rob[s]
@@ -461,7 +546,15 @@ func (c *Core) issue() {
 			break
 		}
 		examined++
-		if !c.operandsReady(e) {
+		if e.wakeGen == c.opGen && c.now < e.wakeAt &&
+			(e.wakeAt != memtypes.NoEvent || e.wakeFlow == c.flowGen) {
+			continue // memoized: cannot become ready this cycle
+		}
+		ready, wake := c.examineEntry(e)
+		if !ready {
+			e.wakeAt = wake
+			e.wakeGen = c.opGen
+			e.wakeFlow = c.flowGen
 			continue
 		}
 		in := e.in
@@ -517,14 +610,57 @@ func (c *Core) issue() {
 			c.removeDisp(s)
 		}
 	}
+	if issued == 0 {
+		// Nothing started (so no port was consumed and no entry changed
+		// state except Halt/Fence leaving the queue): cache the earliest
+		// cycle the remaining window could become ready.
+		c.issueQuiet, c.issueWake = true, c.dispHorizon()
+	} else {
+		c.flowGen++ // a started producer may un-block NoEvent memos
+	}
+}
+
+// dispHorizon returns the earliest cycle any dispatched entry within the
+// issue window could pass operandsReady (NextEvent's dispatch-queue term).
+func (c *Core) dispHorizon() uint64 {
+	window := c.cfg.IssueWindow
+	if window <= 0 {
+		window = c.cfg.ROBSize
+	}
+	next := uint64(memtypes.NoEvent)
+	for i, s := range c.dispQ.slots() {
+		if i >= window {
+			break
+		}
+		e := &c.rob[s]
+		if e.wakeGen == c.opGen &&
+			(e.wakeAt != memtypes.NoEvent || e.wakeFlow == c.flowGen) {
+			// A memoized bound may be conservatively early (never late) —
+			// exactly the NextEvent contract — but it may also sit in the
+			// past when a width-limited scan broke before refreshing it;
+			// clamp to the future (NoEvent saturates).
+			next = min(next, max(c.now+1, e.wakeAt))
+			continue
+		}
+		next = min(next, c.issueEvent(e))
+	}
+	return next
+}
+
+// disturbIssue invalidates the issue-horizon cache and every per-entry
+// readiness memo: an event outside the scan's time-based operand analysis
+// may have made an entry ready.
+func (c *Core) disturbIssue() {
+	c.issueQuiet = false
+	c.opGen++
 }
 
 // removeDisp removes a slot from the dispatched queue the moment it leaves
 // sDispatched. Issued slots sit near the front, so the scan is short.
 func (c *Core) removeDisp(slot int) {
-	for i, s := range c.dispQ {
+	for i, s := range c.dispQ.slots() {
 		if s == slot {
-			c.dispQ = append(c.dispQ[:i], c.dispQ[i+1:]...)
+			c.dispQ.remove(i)
 			return
 		}
 	}
@@ -566,26 +702,71 @@ func (c *Core) captureOp(e *robEntry, k int) bool {
 	return false
 }
 
-// operandsReady captures any newly available operands and reports readiness.
-func (c *Core) operandsReady(e *robEntry) bool {
-	ready := true
+// examineEntry captures any newly available operands and reports readiness
+// — and, when the entry is not ready, the earliest cycle it could become so
+// (issueEvent's bound), computed in the same walk instead of a second one.
+func (c *Core) examineEntry(e *robEntry) (bool, uint64) {
+	var ok [3]bool
+	var b [3]uint64
 	for k := 0; k < 3; k++ {
-		if e.opOK[k] {
-			continue
-		}
-		if !c.captureOp(e, k) {
-			ready = false
-		}
+		ok[k], b[k] = c.captureOpBound(e, k)
 	}
 	// Loads and atomics only need rs1 (+rs2/rs3 for retirement, captured
 	// separately); address generation can proceed on rs1 alone.
-	switch {
-	case e.in.Op.IsLoad():
-		return e.opOK[0]
-	case e.in.Op.IsAtomic():
-		return e.opOK[0]
+	if e.in.Op.IsLoad() || e.in.Op.IsAtomic() {
+		if ok[0] {
+			return true, 0
+		}
+		return false, max(c.now+1, b[0]) // saturates at NoEvent
 	}
-	return ready
+	if ok[0] && ok[1] && ok[2] {
+		return true, 0
+	}
+	t := c.now + 1
+	for k := 0; k < 3; k++ {
+		if ok[k] {
+			continue
+		}
+		if b[k] == memtypes.NoEvent {
+			return false, memtypes.NoEvent
+		}
+		t = max(t, b[k])
+	}
+	return false, t
+}
+
+// captureOpBound is captureOp fused with operandReadyAt: it binds operand k
+// if possible, and otherwise reports when binding could next succeed.
+func (c *Core) captureOpBound(e *robEntry, k int) (bool, uint64) {
+	if e.opOK[k] {
+		return true, 0
+	}
+	p := e.srcRef[k]
+	if p < 0 {
+		e.opOK[k] = true
+		return true, 0
+	}
+	pe := &c.rob[p]
+	if !pe.used || pe.seq != e.srcSeq[k] {
+		e.opVal[k] = c.archRegs[e.srcReg[k]]
+		e.opOK[k] = true
+		e.srcRef[k] = -1
+		return true, 0
+	}
+	switch {
+	case pe.state == sDone:
+		if c.now >= pe.doneAt {
+			e.opVal[k] = pe.value
+			e.opOK[k] = true
+			e.srcRef[k] = -1
+			return true, 0
+		}
+		return false, pe.doneAt
+	case pe.state == sIssued && !pe.pendFill && !pe.in.Op.IsAtomic():
+		// Will be promoted to sDone at doneAt, before issue runs that cycle.
+		return false, max(c.now+1, pe.doneAt)
+	}
+	return false, memtypes.NoEvent
 }
 
 // issueLoad computes the address, searches older in-flight stores, and
@@ -595,8 +776,9 @@ func (c *Core) issueLoad(slot int, e *robEntry) bool {
 	e.addrOK = true
 	// Search older stores/atomics (store queue, youngest-first) for a
 	// same-word match.
-	for i := len(c.storeQ) - 1; i >= 0; i-- {
-		o := &c.rob[c.storeQ[i]]
+	sq := c.storeQ.slots()
+	for i := len(sq) - 1; i >= 0; i-- {
+		o := &c.rob[sq[i]]
 		if o.seq >= e.seq {
 			continue // younger than the load
 		}
@@ -645,7 +827,7 @@ func (c *Core) issueLoad(slot int, e *robEntry) bool {
 // atomic computes its address, the oldest younger load that executed with a
 // value not forwarded from it and that overlaps its word is replayed.
 func (c *Core) checkStoreConflicts(slot int, st *robEntry) {
-	for _, s := range c.loadQ {
+	for _, s := range c.loadQ.slots() {
 		l := &c.rob[s]
 		if l.seq <= st.seq {
 			continue
@@ -733,14 +915,29 @@ func (c *Core) dispatch(pc int, in isa.Instr, predNext int) {
 	slot := c.tail
 	e := &c.rob[slot]
 	c.nextSeq++
-	*e = robEntry{
-		used:     true,
-		seq:      c.nextSeq,
-		pc:       pc,
-		in:       in,
-		predNext: predNext,
-		state:    sDispatched,
-	}
+	// Field-wise reset instead of *e = robEntry{...}: the composite literal
+	// zeroes and copies the whole ~200-byte entry per dispatched instruction,
+	// which profiled as the core's single hottest line. Every field read
+	// before being written is reset here; opVal/srcSeq/srcReg slots are only
+	// read under opOK[k]==false with srcRef[k] >= 0 (both set by bind) or
+	// after bind wrote the value, so their stale contents are dead.
+	e.used = true
+	e.seq = c.nextSeq
+	e.pc = pc
+	e.in = in
+	e.predNext = predNext
+	e.state = sDispatched
+	e.doneAt = 0
+	e.value = 0
+	e.addr = 0
+	e.addrOK = false
+	e.dataVal = 0
+	e.valueOK = false
+	e.fwdSQ = false
+	e.fwdSeq = 0
+	e.fromL1 = false
+	e.pendFill = false
+	e.wakeGen = 0 // memo invalid until the first scan
 	for k := 0; k < 3; k++ {
 		e.srcRef[k] = -1
 		e.opOK[k] = true
@@ -788,11 +985,12 @@ func (c *Core) dispatch(pc int, in isa.Instr, predNext int) {
 		c.rename[in.Rd] = slot
 	}
 	if in.Op.IsLoad() {
-		c.loadQ = append(c.loadQ, slot)
+		c.loadQ.push(slot)
 	} else if in.Op.IsStore() || in.Op.IsAtomic() {
-		c.storeQ = append(c.storeQ, slot)
+		c.storeQ.push(slot)
 	}
-	c.dispQ = append(c.dispQ, slot)
+	c.dispQ.push(slot)
+	c.disturbIssue()
 	c.tail = (c.tail + 1) % c.cfg.ROBSize
 	c.count++
 }
@@ -819,6 +1017,7 @@ func (c *Core) squashSlots(slot int) {
 	c.count = n
 	c.tail = slot
 	c.Squashes++
+	c.disturbIssue()
 	c.rebuildRename()
 }
 
@@ -839,6 +1038,7 @@ func (c *Core) FlushAll(regs [isa.NumRegs]memtypes.Word, pc int) {
 	c.halted = false
 	c.stallTil = c.now + c.cfg.RedirectPenalty
 	c.Squashes++
+	c.disturbIssue()
 	c.rebuildRename()
 }
 
@@ -848,25 +1048,28 @@ func (c *Core) rebuildRename() {
 	for i := range c.rename {
 		c.rename[i] = -1
 	}
-	c.loadQ = c.loadQ[:0]
-	c.storeQ = c.storeQ[:0]
+	c.loadQ.reset()
+	c.storeQ.reset()
 	c.execQ = c.execQ[:0]
-	c.dispQ = c.dispQ[:0]
+	c.dispQ.reset()
 	for i, s := 0, c.head; i < c.count; i, s = i+1, (s+1)%c.cfg.ROBSize {
 		e := &c.rob[s]
 		if e.in.Op.WritesRd() && e.in.Rd != isa.R0 {
 			c.rename[e.in.Rd] = s
 		}
 		if e.in.Op.IsLoad() {
-			c.loadQ = append(c.loadQ, s)
+			c.loadQ.push(s)
 		} else if e.in.Op.IsStore() || e.in.Op.IsAtomic() {
-			c.storeQ = append(c.storeQ, s)
+			c.storeQ.push(s)
 		}
 		if e.state == sIssued && !e.in.Op.IsAtomic() && !e.pendFill {
 			c.execQ = append(c.execQ, s)
+			if e.doneAt < c.execMin {
+				c.execMin = e.doneAt
+			}
 		}
 		if e.state == sDispatched {
-			c.dispQ = append(c.dispQ, s)
+			c.dispQ.push(s)
 		}
 	}
 }
@@ -876,7 +1079,7 @@ func (c *Core) rebuildRename() {
 // FillLoad delivers data for an outstanding load miss. Stale fills (for
 // squashed entries) are ignored by tag mismatch.
 func (c *Core) FillLoad(tag uint64, val memtypes.Word) {
-	for _, s := range c.loadQ {
+	for _, s := range c.loadQ.slots() {
 		e := &c.rob[s]
 		if e.used && e.seq == tag && e.pendFill {
 			e.pendFill = false
@@ -884,6 +1087,7 @@ func (c *Core) FillLoad(tag uint64, val memtypes.Word) {
 			e.valueOK = true
 			e.doneAt = c.now + 1
 			c.queueExec(s)
+			c.disturbIssue()
 			return
 		}
 	}
@@ -897,7 +1101,7 @@ func (c *Core) FillLoad(tag uint64, val memtypes.Word) {
 // InvisiFence-Continuous would not (§4.2), but keeping it on is
 // conservative and covers execute-to-retire protection gaps (DESIGN.md).
 func (c *Core) SnoopBlock(block memtypes.Addr) bool {
-	for _, s := range c.loadQ {
+	for _, s := range c.loadQ.slots() {
 		e := &c.rob[s]
 		if e.used && e.valueOK && !e.fwdSQ && memtypes.BlockAddr(e.addr) == block {
 			c.Replays++
@@ -933,25 +1137,20 @@ func (c *Core) NextEvent() uint64 {
 	if !c.fetchedHalt && c.count < c.cfg.ROBSize && c.fetchPC >= 0 && c.fetchPC < len(c.prog.Instrs) {
 		next = min(next, max(c.now+1, c.stallTil))
 	}
-	// Execution completions promote entries to sDone.
-	for _, s := range c.execQ {
-		e := &c.rob[s]
-		if e.used && e.state == sIssued && !e.pendFill {
-			next = min(next, max(c.now+1, e.doneAt))
-		}
+	// Execution completions promote entries to sDone. execMin bounds every
+	// live completion from below (possibly early when stale entries linger
+	// — a wasted tick, never a missed one).
+	if len(c.execQ) > 0 {
+		next = min(next, max(c.now+1, c.execMin))
 	}
-	// Dispatched entries become issueable when their operands arrive. Only
+	// Dispatched entries become issueable when their operands arrive (only
 	// the first IssueWindow queue entries can be examined by the scan, so
-	// later ones cannot generate an event before the queue moves.
-	window := c.cfg.IssueWindow
-	if window <= 0 {
-		window = c.cfg.ROBSize
-	}
-	for i, s := range c.dispQ {
-		if i >= window {
-			break
-		}
-		next = min(next, c.issueEvent(&c.rob[s]))
+	// later ones cannot generate an event before the queue moves). A valid
+	// issue-horizon cache is exactly this term, already computed.
+	if c.issueQuiet {
+		next = min(next, max(c.now+1, c.issueWake))
+	} else {
+		next = min(next, c.dispHorizon())
 	}
 	return next
 }
@@ -969,6 +1168,13 @@ type HeadState struct {
 	// (memtypes.NoEvent: only after an external event such as a fill).
 	Ready   bool
 	ReadyAt uint64
+	// OpA/OpB are a ready atomic's data operands (the compare value and, for
+	// CAS, the swap value), peeked read-only: the node needs the actual
+	// values — a CAS whose compare fails retires read-only — to classify a
+	// buffer-blocked speculative atomic as a skippable wait. OpsOK reports
+	// that both were resolvable without mutating capture state.
+	OpA, OpB memtypes.Word
+	OpsOK    bool
 }
 
 // HeadState returns the retirement snapshot of the ROB head.
@@ -985,6 +1191,14 @@ func (c *Core) HeadState() HeadState {
 	case e.in.Op.IsAtomic():
 		hs.ReadyAt = c.retireAtomicEvent(e)
 		hs.Ready = hs.ReadyAt == c.now+1
+		if hs.Ready {
+			hs.OpA, hs.OpsOK = c.peekOp(e, 1)
+			if e.in.Op == isa.Cas {
+				var okB bool
+				hs.OpB, okB = c.peekOp(e, 2)
+				hs.OpsOK = hs.OpsOK && okB
+			}
+		}
 	default:
 		switch {
 		case e.pendFill:
@@ -998,6 +1212,28 @@ func (c *Core) HeadState() HeadState {
 		}
 	}
 	return hs
+}
+
+// peekOp resolves operand k's value without binding it (captureOp's
+// read-only mirror): the value comes from the entry's captured slot, the
+// retired producer's architectural register, or a completed producer's ROB
+// slot. ok is false while the producer is still executing.
+func (c *Core) peekOp(e *robEntry, k int) (memtypes.Word, bool) {
+	if e.opOK[k] {
+		return e.opVal[k], true
+	}
+	p := e.srcRef[k]
+	if p < 0 {
+		return e.opVal[k], true
+	}
+	pe := &c.rob[p]
+	if !pe.used || pe.seq != e.srcSeq[k] {
+		return c.archRegs[e.srcReg[k]], true
+	}
+	if pe.state == sDone && c.now >= pe.doneAt {
+		return pe.value, true
+	}
+	return 0, false
 }
 
 // operandReadyAt returns the earliest cycle operand k of e could bind

@@ -9,6 +9,13 @@ import "fmt"
 // Addr is a byte address in the simulated flat physical address space.
 type Addr uint64
 
+// NodeID identifies a node (core + caches + directory slice) in the system.
+// It lives here — below both the coherence protocol and the interconnect —
+// so the protocol's wire format (coherence.Msg) can name nodes without
+// depending on the transport that carries it (network.Message embeds the
+// wire format by value; see DESIGN.md §9).
+type NodeID int
+
 // Word is the unit of data transfer for loads, stores, and atomics.
 type Word uint64
 

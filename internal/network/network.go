@@ -16,17 +16,22 @@ import (
 	"fmt"
 	"math/rand"
 
+	"invisifence/internal/coherence"
 	"invisifence/internal/memtypes"
 )
 
 // NodeID identifies a node (core + caches + directory slice) in the system.
-type NodeID int
+// The defined type lives in memtypes (below the wire format); this alias
+// keeps the network's established vocabulary.
+type NodeID = memtypes.NodeID
 
-// Message is an in-flight interconnect message. Payload is opaque to the
-// network; the coherence protocol defines the concrete types.
+// Message is an in-flight interconnect message. The payload is the coherence
+// protocol's wire format, embedded by value: the network carries exactly one
+// message type, so there is nothing to box — sending allocates nothing, and
+// the heap/inbox/outbox structures hold messages inline (DESIGN.md §9).
 type Message struct {
 	Src, Dst NodeID
-	Payload  any
+	Payload  coherence.Msg
 
 	arrive uint64 // delivery cycle
 	seq    uint64 // tie-break for deterministic ordering (see ordering note)
@@ -76,7 +81,8 @@ func (b *inbox) pop() (Message, bool) {
 		return Message{}, false
 	}
 	m := b.q[b.head]
-	b.q[b.head] = Message{} // release the payload reference
+	// Popped slots are left as-is: Message is pointer-free since the payload
+	// became an inline value, so there is nothing for the GC to release.
 	b.head++
 	switch {
 	case b.head == len(b.q):
@@ -87,7 +93,6 @@ func (b *inbox) pop() (Message, bool) {
 		// bounded by the backlog (amortized O(1): each element moves at
 		// most once per 64 pops).
 		n := copy(b.q, b.q[b.head:])
-		clear(b.q[n:])
 		b.q = b.q[:n]
 		b.head = 0
 	}
@@ -121,10 +126,11 @@ type Network struct {
 	// replaces the global nextSeq with per-source counters (see the
 	// ordering note on Message), and sharded selects the composite heap
 	// key.
-	sharded bool
-	owned   []bool
-	srcSeq  []uint64
-	outbox  []Message
+	sharded   bool
+	owned     []bool
+	srcSeq    []uint64
+	outbox    []Message
+	outboxAlt []Message // DrainOutbox's swap buffer (allocation-free epochs)
 
 	// lastArrive enforces FIFO ordering per (src,dst) pair: a later send may
 	// not arrive before an earlier one even under jitter. Indexed
@@ -189,10 +195,15 @@ func (n *Network) Owns(id NodeID) bool { return n.owned == nil || n.owned[id] }
 
 // DrainOutbox returns and clears the cross-shard sends accumulated since the
 // last drain. Only the parallel scheduler calls this, at an epoch barrier,
-// with every shard goroutine parked.
+// with every shard goroutine parked. The returned slice is valid until the
+// drain after next: the outbox and a spare swap backing arrays, so steady-
+// state barrier exchange allocates nothing. The scheduler finishes injecting
+// every drained message before any shard resumes sending, which is exactly
+// the reuse window.
 func (n *Network) DrainOutbox() []Message {
 	out := n.outbox
-	n.outbox = nil
+	n.outbox = n.outboxAlt[:0]
+	n.outboxAlt = out
 	return out
 }
 
@@ -249,8 +260,8 @@ func (n *Network) Latency(a, b NodeID) uint64 {
 // a cycle; delivery happens at a strictly later cycle. In shard mode src
 // must be a node this shard owns (sends only happen inside an owned node's
 // tick); a foreign dst parks the message in the outbox for the next barrier
-// exchange.
-func (n *Network) Send(src, dst NodeID, payload any) {
+// exchange. The signature implements coherence.Port.
+func (n *Network) Send(src, dst NodeID, payload coherence.Msg) {
 	if int(dst) < 0 || int(dst) >= n.Nodes() {
 		panic(fmt.Sprintf("network: send to invalid node %d", dst))
 	}
@@ -381,8 +392,8 @@ func (h *msgHeap) pop(composite bool) Message {
 	top := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
-	q[last] = Message{} // release the payload reference
-	q = q[:last]
+	q = q[:last] // no zeroing: Message is pointer-free
+
 	*h = q
 	i := 0
 	for {

@@ -3,7 +3,16 @@ package network
 import (
 	"testing"
 	"testing/quick"
+
+	"invisifence/internal/coherence"
+	"invisifence/internal/memtypes"
 )
+
+// pl wraps a test tag in the wire format (the only payload the network
+// carries since devirtualization); tag reads it back.
+func pl(i int) coherence.Msg { return coherence.Msg{Addr: memtypes.Addr(i)} }
+
+func payloadTag(m Message) int { return int(m.Payload.Addr) }
 
 func mk(t *testing.T, cfg Config) *Network {
 	t.Helper()
@@ -57,7 +66,7 @@ func TestHopsTriangleInequality(t *testing.T) {
 func TestDeliveryLatency(t *testing.T) {
 	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10, LocalLatency: 1})
 	n.Tick(100)
-	n.Send(0, 5, "x") // 2 hops = 20 cycles
+	n.Send(0, 5, pl(7)) // 2 hops = 20 cycles
 	for now := uint64(101); now < 120; now++ {
 		n.Tick(now)
 		if _, ok := n.Recv(5); ok {
@@ -69,7 +78,7 @@ func TestDeliveryLatency(t *testing.T) {
 	if !ok {
 		t.Fatal("not delivered at latency")
 	}
-	if m.Payload.(string) != "x" || m.Src != 0 {
+	if payloadTag(m) != 7 || m.Src != 0 {
 		t.Fatalf("bad message %+v", m)
 	}
 }
@@ -77,7 +86,7 @@ func TestDeliveryLatency(t *testing.T) {
 func TestLocalDelivery(t *testing.T) {
 	n := mk(t, Config{Width: 2, Height: 2, HopLatency: 10, LocalLatency: 1})
 	n.Tick(10)
-	n.Send(3, 3, 42)
+	n.Send(3, 3, pl(42))
 	n.Tick(11)
 	if _, ok := n.Recv(3); !ok {
 		t.Fatal("local message not delivered after LocalLatency")
@@ -90,7 +99,7 @@ func TestPerPairFIFO(t *testing.T) {
 	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 5, Jitter: 20, Seed: 99})
 	n.Tick(1)
 	for i := 0; i < 50; i++ {
-		n.Send(1, 2, i)
+		n.Send(1, 2, pl(i))
 	}
 	got := make([]int, 0, 50)
 	for now := uint64(2); now < 500 && len(got) < 50; now++ {
@@ -100,7 +109,7 @@ func TestPerPairFIFO(t *testing.T) {
 			if !ok {
 				break
 			}
-			got = append(got, m.Payload.(int))
+			got = append(got, payloadTag(m))
 		}
 	}
 	if len(got) != 50 {
@@ -118,7 +127,7 @@ func TestDeterminism(t *testing.T) {
 		n := mk(t, Config{Width: 4, Height: 4, HopLatency: 7, Jitter: 9, Seed: 4})
 		n.Tick(1)
 		for i := 0; i < 30; i++ {
-			n.Send(NodeID(i%3), NodeID(12+i%4), i)
+			n.Send(NodeID(i%3), NodeID(12+i%4), pl(i))
 		}
 		var order []int
 		for now := uint64(2); now < 300; now++ {
@@ -129,7 +138,7 @@ func TestDeterminism(t *testing.T) {
 					if !ok {
 						break
 					}
-					order = append(order, m.Payload.(int))
+					order = append(order, payloadTag(m))
 				}
 			}
 		}
@@ -152,7 +161,7 @@ func TestPendingCount(t *testing.T) {
 	if n.Pending() != 0 {
 		t.Fatal("pending on empty network")
 	}
-	n.Send(0, 1, "a")
+	n.Send(0, 1, pl(1))
 	if n.Pending() != 1 {
 		t.Fatal("in-flight not pending")
 	}
@@ -169,8 +178,8 @@ func TestPendingCount(t *testing.T) {
 func TestCounters(t *testing.T) {
 	n := mk(t, Config{Width: 4, Height: 4, HopLatency: 10})
 	n.Tick(1)
-	n.Send(0, 5, "a") // 2 hops
-	n.Send(0, 1, "b") // 1 hop
+	n.Send(0, 5, pl(1)) // 2 hops
+	n.Send(0, 1, pl(2)) // 1 hop
 	if n.Sent != 2 || n.TotalHops != 3 {
 		t.Fatalf("sent=%d hops=%d", n.Sent, n.TotalHops)
 	}
@@ -212,12 +221,12 @@ func TestShardOrderingMatchesSerial(t *testing.T) {
 					if !ok {
 						break
 					}
-					got[dst] = append(got[dst], m.Payload.(int))
+					got[dst] = append(got[dst], payloadTag(m))
 				}
 			}
 			for _, s := range schedule {
 				if s.at == now {
-					n.Send(s.src, s.dst, s.tag)
+					n.Send(s.src, s.dst, pl(s.tag))
 				}
 			}
 		}
@@ -249,12 +258,12 @@ func TestShardOrderingMatchesSerial(t *testing.T) {
 					if !ok {
 						break
 					}
-					got[dst] = append(got[dst], m.Payload.(int))
+					got[dst] = append(got[dst], payloadTag(m))
 				}
 			}
 			for _, s := range schedule {
 				if s.at == now {
-					shards[shardOf(s.src)].Send(s.src, s.dst, s.tag)
+					shards[shardOf(s.src)].Send(s.src, s.dst, pl(s.tag))
 				}
 			}
 			for _, sh := range shards {

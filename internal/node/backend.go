@@ -145,7 +145,9 @@ func (n *Node) RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.Sta
 // block: buffered entries drain in age order, and a direct write jumping
 // ahead of a buffered older store would later be overwritten by it.
 func (n *Node) retireNonSpecStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.StallReason) {
-	coherence.TraceEvent(n.now, addr, "node%d retireNonSpecStore val=%d", n.id, val)
+	if coherence.TraceOn() {
+		coherence.TraceEvent(n.now, addr, "node%d retireNonSpecStore val=%d", n.id, val)
+	}
 	block := memtypes.BlockAddr(addr)
 	line := n.l1.Peek(addr)
 	if line != nil && line.State.Writable() && !n.sbHasBlock(block) {
@@ -175,7 +177,9 @@ func (n *Node) retireSpecStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu
 	line := n.l1.Peek(addr)
 	_, cleaning := n.cleanings[block]
 
-	coherence.TraceEvent(n.now, addr, "node%d retireSpecStore val=%d epoch=%d", n.id, val, y)
+	if coherence.TraceOn() {
+		coherence.TraceEvent(n.now, addr, "node%d retireSpecStore val=%d epoch=%d", n.id, val, y)
+	}
 	direct := false
 	if line != nil && line.State.Writable() && !cleaning && !n.sbHasBlock(block) {
 		// (The buffer must hold nothing for this block: a direct write
@@ -341,14 +345,18 @@ func (n *Node) CaptureCheckpoint() ([isa.NumRegs]memtypes.Word, int) {
 	for r := 0; r < isa.NumRegs; r++ {
 		regs[r] = n.core.ArchReg(isa.Reg(r))
 	}
-	coherence.TraceAlways(n.now, "node%d CHECKPOINT pc=%d r2=%d", n.id, n.core.ArchPC(), regs[2])
+	if coherence.TraceOn() {
+		coherence.TraceAlways(n.now, "node%d CHECKPOINT pc=%d r2=%d", n.id, n.core.ArchPC(), regs[2])
+	}
 	return regs, n.core.ArchPC()
 }
 
 // RestoreCheckpoint implements core.Host (the abort path's pipeline flush
 // and register restore).
 func (n *Node) restoreTrace(regs [isa.NumRegs]memtypes.Word, pc int) {
-	coherence.TraceAlways(n.now, "node%d RESTORE pc=%d r2=%d", n.id, pc, regs[2])
+	if coherence.TraceOn() {
+		coherence.TraceAlways(n.now, "node%d RESTORE pc=%d r2=%d", n.id, pc, regs[2])
+	}
 }
 
 // RestoreCheckpoint implements core.Host (the abort path's pipeline flush
@@ -360,14 +368,18 @@ func (n *Node) RestoreCheckpoint(regs [isa.NumRegs]memtypes.Word, pc int) {
 
 // FlashClearSpecBits implements core.Host (commit).
 func (n *Node) FlashClearSpecBits(epoch int) {
-	coherence.TraceAlways(n.now, "node%d COMMIT epoch=%d", n.id, epoch)
+	if coherence.TraceOn() {
+		coherence.TraceAlways(n.now, "node%d COMMIT epoch=%d", n.id, epoch)
+	}
 	n.l1.FlashClearSpec(epoch)
 }
 
 // CondInvalidateSpec implements core.Host (abort).
 func (n *Node) CondInvalidateSpec(epoch int) int {
 	k := n.l1.ConditionalInvalidate(epoch)
-	coherence.TraceAlways(n.now, "node%d ABORT epoch=%d invalidated=%d pc->%d", n.id, epoch, k, n.core.ArchPC())
+	if coherence.TraceOn() {
+		coherence.TraceAlways(n.now, "node%d ABORT epoch=%d invalidated=%d pc->%d", n.id, epoch, k, n.core.ArchPC())
+	}
 	return k
 }
 

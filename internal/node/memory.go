@@ -42,10 +42,20 @@ func (n *Node) canAllocateFill(block memtypes.Addr) bool {
 	return n.setPending[n.l1SetIndex(block)] < n.l1.Ways()
 }
 
-// allocMSHR creates and tracks a miss for block. Callers must have checked
+// allocMSHR creates and tracks a miss for block, reusing a recycled entry
+// when one is free (the waiter slice keeps its capacity across reuse, so a
+// steady miss stream allocates nothing). Callers must have checked
 // canAllocateFill.
 func (n *Node) allocMSHR(block memtypes.Addr, wantX bool) *mshrEntry {
-	m := &mshrEntry{block: block, wantX: wantX}
+	var m *mshrEntry
+	if k := len(n.mshrFree); k > 0 {
+		m = n.mshrFree[k-1]
+		n.mshrFree = n.mshrFree[:k-1]
+		w := m.waiters[:0]
+		*m = mshrEntry{block: block, wantX: wantX, waiters: w}
+	} else {
+		m = &mshrEntry{block: block, wantX: wantX}
+	}
 	n.mshrs[block] = m
 	n.mshrOrder = append(n.mshrOrder, m)
 	n.setPending[n.l1SetIndex(block)]++
@@ -60,6 +70,7 @@ func (n *Node) freeMSHR(m *mshrEntry) {
 			break
 		}
 	}
+	n.mshrFree = append(n.mshrFree, m)
 	n.setPending[n.l1SetIndex(m.block)]--
 	if n.cfg.FillHoldCycles > 0 && !m.prefetch {
 		// Livelock avoidance: give the core a short exclusive window on
@@ -85,12 +96,12 @@ func (n *Node) issueRequests() {
 		l2line := n.l2.Peek(m.block)
 		switch {
 		case !m.wantX:
-			n.send(n.home(m.block), &coherence.Msg{Kind: coherence.GetS, Addr: m.block})
+			n.send(n.home(m.block), coherence.Msg{Kind: coherence.GetS, Addr: m.block})
 		case l2line != nil && l2line.State == cache.Shared:
 			m.upgrade = true
-			n.send(n.home(m.block), &coherence.Msg{Kind: coherence.Upgrade, Addr: m.block})
+			n.send(n.home(m.block), coherence.Msg{Kind: coherence.Upgrade, Addr: m.block})
 		default:
-			n.send(n.home(m.block), &coherence.Msg{Kind: coherence.GetX, Addr: m.block})
+			n.send(n.home(m.block), coherence.Msg{Kind: coherence.GetX, Addr: m.block})
 		}
 		m.sent = true
 	}
@@ -164,13 +175,13 @@ func (n *Node) wakeWaiters(m *mshrEntry) {
 		return
 	}
 	line := n.l1.Peek(m.block)
-	n.invariant(line != nil, "wake without L1 line %#x", uint64(m.block))
+	n.invariantAddr(line != nil, "wake without L1 line", m.block)
 	for _, w := range m.waiters {
 		val := line.Data[memtypes.WordIndex(w.addr)]
 		n.core.FillLoad(w.tag, val)
 		n.markExecRead(line)
 	}
-	m.waiters = nil
+	m.waiters = m.waiters[:0] // keep capacity: the entry recycles
 }
 
 // markExecRead sets the execution-time speculatively-read bit (continuous
@@ -213,11 +224,11 @@ func (n *Node) installL1(block memtypes.Addr, data memtypes.BlockData, st cache.
 // evictL1Line removes a (non-speculative) line from the L1, merging dirty
 // data into the L2 and replaying any in-window loads that consumed it.
 func (n *Node) evictL1Line(v *cache.Line) {
-	n.invariant(!v.SpecAny(), "evicting speculative L1 line %#x", uint64(v.Addr))
+	n.invariantAddr(!v.SpecAny(), "evicting speculative L1 line", v.Addr)
 	addr := v.Addr
 	if v.State == cache.Modified {
 		l2line := n.l2.Peek(addr)
-		n.invariant(l2line != nil, "L1 dirty evict without L2 line %#x (inclusion)", uint64(addr))
+		n.invariantAddr(l2line != nil, "L1 dirty evict without L2 line (inclusion)", addr)
 		l2line.Data = v.Data
 		l2line.State = cache.Modified
 	}
@@ -271,11 +282,11 @@ func (n *Node) evictL2Line(v *cache.Line) bool {
 		return false
 	}
 	old, ok := n.l2.Invalidate(addr)
-	n.invariant(ok, "L2 evict of absent line %#x", uint64(addr))
+	n.invariantAddr(ok, "L2 evict of absent line", addr)
 	switch old.State {
 	case cache.Modified, cache.Exclusive:
-		n.wbBuf[addr] = &wbEntry{data: old.Data, dirty: old.State == cache.Modified}
-		n.send(n.home(addr), &coherence.Msg{
+		n.wbBuf[addr] = wbEntry{data: old.Data, dirty: old.State == cache.Modified}
+		n.send(n.home(addr), coherence.Msg{
 			Kind: coherence.PutX, Addr: addr,
 			Data: old.Data, HasData: true,
 			Dirty: old.State == cache.Modified,
@@ -297,7 +308,9 @@ func (n *Node) startCleaning(block memtypes.Addr) {
 	n.cleanings[block] = n.now + n.l2.HitLatency()
 	n.cleanList = append(n.cleanList, block)
 	n.CleaningWBs++
-	coherence.TraceEvent(n.now, block, "node%d startCleaning done=%d", n.id, n.cleanings[block])
+	if coherence.TraceOn() {
+		coherence.TraceEvent(n.now, block, "node%d startCleaning done=%d", n.id, n.cleanings[block])
+	}
 }
 
 func (n *Node) completeCleanings() {
@@ -315,18 +328,19 @@ func (n *Node) completeCleanings() {
 		applied := false
 		if l1line != nil && l1line.State == cache.Modified && !l1line.SpecWrittenAny() {
 			l2line := n.l2.Peek(block)
-			n.invariant(l2line != nil, "cleaning without L2 line %#x", uint64(block))
+			n.invariantAddr(l2line != nil, "cleaning without L2 line", block)
 			l2line.Data = l1line.Data
 			l2line.State = cache.Modified
 			l1line.State = cache.Exclusive
 			applied = true
 		}
-		coherence.TraceEvent(n.now, block, "node%d completeCleaning applied=%v w0l1=%d", n.id, applied, func() memtypes.Word {
+		if coherence.TraceOn() {
+			w0 := memtypes.Word(0)
 			if l1line != nil {
-				return l1line.Data[0]
+				w0 = l1line.Data[0]
 			}
-			return 0
-		}())
+			coherence.TraceEvent(n.now, block, "node%d completeCleaning applied=%v w0l1=%d", n.id, applied, w0)
+		}
 		delete(n.cleanings, block)
 	}
 	n.cleanList = live
@@ -429,7 +443,9 @@ func (n *Node) drainEntry(e *storebuffer.CoalescingEntry) bool {
 		}
 		// First speculative store to a non-speculatively-dirty block:
 		// cleaning writeback first (§3.2).
-		coherence.TraceEvent(n.now, e.Block, "node%d drainCheck epoch=%d spec=%v state=%v writtenAny=%v readAny=%v", n.id, e.Epoch, spec, line.State, line.SpecWrittenAny(), line.SpecReadAny())
+		if coherence.TraceOn() {
+			coherence.TraceEvent(n.now, e.Block, "node%d drainCheck epoch=%d spec=%v state=%v writtenAny=%v readAny=%v", n.id, e.Epoch, spec, line.State, line.SpecWrittenAny(), line.SpecReadAny())
+		}
 		if spec && line.State == cache.Modified && !line.SpecWrittenAny() {
 			n.startCleaning(e.Block)
 			return false
@@ -444,7 +460,9 @@ func (n *Node) drainEntry(e *storebuffer.CoalescingEntry) bool {
 	if spec {
 		n.l1.MarkSpecWritten(line, e.Epoch)
 	}
-	coherence.TraceEvent(n.now, e.Block, "node%d drain entry epoch=%d w0=%d(valid=%v)", n.id, e.Epoch, e.Words[0], e.Valid[0])
+	if coherence.TraceOn() {
+		coherence.TraceEvent(n.now, e.Block, "node%d drain entry epoch=%d w0=%d(valid=%v)", n.id, e.Epoch, e.Words[0], e.Valid[0])
+	}
 	n.coalSB.Remove(e)
 	return true
 }

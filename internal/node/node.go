@@ -94,9 +94,12 @@ type wbEntry struct {
 	dirty bool
 }
 
+// parkedProbe holds a deferred or raced coherence message by value; the
+// parked list and its retry scratch swap backing arrays each cycle, so
+// parking allocates nothing in steady state.
 type parkedProbe struct {
 	src      network.NodeID
-	msg      *coherence.Msg
+	msg      coherence.Msg
 	deadline uint64 // CoV deferral deadline; 0 = no deadline (resource wait)
 	isCoV    bool
 }
@@ -122,14 +125,16 @@ type Node struct {
 
 	mshrs      map[memtypes.Addr]*mshrEntry
 	mshrOrder  []*mshrEntry
+	mshrFree   []*mshrEntry   // recycled miss entries (waiter capacity kept)
 	setPending map[uint64]int // L1 set index -> outstanding fills/locks
 
-	wbBuf     map[memtypes.Addr]*wbEntry
+	wbBuf     map[memtypes.Addr]wbEntry
 	cleanings map[memtypes.Addr]uint64 // block -> cleaning-writeback done cycle
 	cleanList []memtypes.Addr          // deterministic iteration
 	fillHold  map[memtypes.Addr]uint64 // block -> probe-hold deadline after fill
 
-	parked []*parkedProbe
+	parked        []parkedProbe
+	parkedScratch []parkedProbe // retryParked's reusable iteration snapshot
 	// parkedFills marks blocks whose fill data has arrived but is waiting
 	// for a victim way. Probes for these blocks must queue behind the fill:
 	// serving them first would invalidate the cached copy and let the
@@ -159,7 +164,7 @@ func New(cfg Config, net *network.Network, prog *isa.Program, regs [isa.NumRegs]
 		st:          &stats.NodeStats{},
 		mshrs:       make(map[memtypes.Addr]*mshrEntry),
 		setPending:  make(map[uint64]int),
-		wbBuf:       make(map[memtypes.Addr]*wbEntry),
+		wbBuf:       make(map[memtypes.Addr]wbEntry),
 		cleanings:   make(map[memtypes.Addr]uint64),
 		fillHold:    make(map[memtypes.Addr]uint64),
 		parkedFills: make(map[memtypes.Addr]bool),
@@ -235,8 +240,10 @@ func (n *Node) home(a memtypes.Addr) network.NodeID {
 	return coherence.HomeOf(a, n.nodes)
 }
 
-func (n *Node) send(dst network.NodeID, m *coherence.Msg) {
-	coherence.Trace(n.now, fmt.Sprintf("node%d->%d", n.id, dst), m, "")
+func (n *Node) send(dst network.NodeID, m coherence.Msg) {
+	if coherence.TraceOn() {
+		coherence.Trace(n.now, fmt.Sprintf("node%d->%d", n.id, dst), m, "")
+	}
 	n.net.Send(n.id, dst, m)
 }
 
@@ -270,13 +277,14 @@ func (n *Node) deliver() {
 		if !ok {
 			return
 		}
-		cm := m.Payload.(*coherence.Msg)
-		if cm.Kind.IsDirRequest() {
-			n.dir.Handle(n.now, m.Src, cm)
+		if m.Payload.Kind.IsDirRequest() {
+			n.dir.Handle(n.now, m.Src, m.Payload)
 			continue
 		}
-		coherence.Trace(n.now, fmt.Sprintf("node%d<-%d", n.id, m.Src), cm, "")
-		n.handleCacheMsg(m.Src, cm)
+		if coherence.TraceOn() {
+			coherence.Trace(n.now, fmt.Sprintf("node%d<-%d", n.id, m.Src), m.Payload, "")
+		}
+		n.handleCacheMsg(m.Src, m.Payload)
 	}
 }
 
@@ -453,6 +461,15 @@ func (n *Node) specHeadRetireEvent(hs cpu.HeadState) uint64 {
 		if n.specAtomicWaitsOnMiss(hs) {
 			return memtypes.NoEvent // pure fill wait; requestBlock is idempotent
 		}
+		if out, ok := n.specAtomicStoreOutcome(hs); ok {
+			switch out {
+			case specStoreWaitPure, specStoreWaitStall:
+				// Buffer-blocked store half: wakes through tracked events
+				// (store-buffer drains, fills, cleanings, epoch commits);
+				// the stall counter is replayed in bulk by SkipCycles.
+				return memtypes.NoEvent
+			}
+		}
 		return n.now + 1
 	default:
 		// Halt (engine halt-request), Fence (retires freely inside a
@@ -536,6 +553,38 @@ func (n *Node) specAtomicWaitsOnMiss(hs cpu.HeadState) bool {
 	}
 	_, outstanding := n.mshrs[block]
 	return outstanding
+}
+
+// specAtomicStoreOutcome classifies, read-only, the store half of a
+// speculative atomic whose line is present: the §3.2 load+store
+// decomposition retries retireSpecAtomic every cycle when the write cannot
+// buffer, which used to be a dense now+1 horizon (the last one under
+// speculation — see ROADMAP). Deciding the write's fate needs the head's
+// operand values (a failed CAS retires read-only), plumbed through
+// cpu.HeadState. ok is false when the next attempt provably mutates state
+// before reaching the store half — an unmarked speculatively-read bit
+// (violation detection depends on the marking, so it is never skipped), a
+// missing line, or a CAS that fails and therefore retires.
+func (n *Node) specAtomicStoreOutcome(hs cpu.HeadState) (specStoreOutcome, bool) {
+	if !hs.AddrOK || !hs.OpsOK || n.coalSB == nil {
+		return 0, false
+	}
+	line := n.l1.Peek(hs.Addr)
+	if line == nil {
+		return 0, false // miss path: specAtomicWaitsOnMiss owns it
+	}
+	y := n.engine.YoungestEpoch()
+	if y < 0 || !line.SpecRead[y] {
+		return 0, false // next attempt marks the read bit: a mutation
+	}
+	old := line.Data[memtypes.WordIndex(hs.Addr)]
+	if v, ok := n.coalSB.Forward(hs.Addr); ok {
+		old = v
+	}
+	if _, doWrite := cpu.AtomicApply(hs.Op, old, hs.OpA, hs.OpB); !doWrite {
+		return 0, false // failed CAS: retires read-only next attempt
+	}
+	return n.specStoreOutcome(hs.Addr), true
 }
 
 // coalStoreWouldStall mirrors retireNonSpecStore's failure path: the store
@@ -634,7 +683,19 @@ func (n *Node) SkipCycles(k uint64) {
 	// other skippable head wait is pure, see headRetireEvent and
 	// specStoreOutcome.)
 	hs := n.core.HeadState()
-	if !hs.Valid || !hs.Ready || !hs.Op.IsStore() {
+	if !hs.Valid || !hs.Ready || !(hs.Op.IsStore() || hs.Op.IsAtomic()) {
+		return
+	}
+	if hs.Op.IsAtomic() {
+		// Mirror of specHeadRetireEvent's atomic case: only a WaitStall-
+		// classified store half bumps the coalescing buffer's FullStalls per
+		// attempt. Every other skippable atomic wait (fill wait, non-spec
+		// drain/ownership wait, ASO SSB refusal) mutates nothing per cycle.
+		if n.engine.Speculating() {
+			if out, ok := n.specAtomicStoreOutcome(hs); ok && out == specStoreWaitStall {
+				n.coalSB.FullStalls += k
+			}
+		}
 		return
 	}
 	if n.engine.Speculating() {
@@ -722,5 +783,15 @@ func (n *Node) DebugString() string {
 func (n *Node) invariant(cond bool, format string, args ...any) {
 	if !cond {
 		panic(fmt.Sprintf("node %d @%d: %s", n.id, n.now, fmt.Sprintf(format, args...)))
+	}
+}
+
+// invariantAddr is the hot-path variant of invariant: the ...any form boxes
+// its arguments on every call even when the condition holds, which made the
+// per-fill and per-probe checks the largest allocation sites in the
+// simulator. The address is formatted only on failure.
+func (n *Node) invariantAddr(cond bool, msg string, a memtypes.Addr) {
+	if !cond {
+		panic(fmt.Sprintf("node %d @%d: %s %#x", n.id, n.now, msg, uint64(a)))
 	}
 }

@@ -8,7 +8,7 @@ import (
 )
 
 // handleCacheMsg dispatches a directory-to-cache message.
-func (n *Node) handleCacheMsg(src network.NodeID, m *coherence.Msg) {
+func (n *Node) handleCacheMsg(src network.NodeID, m coherence.Msg) {
 	switch m.Kind {
 	case coherence.DataS, coherence.DataE, coherence.DataM,
 		coherence.FwdDataS, coherence.FwdDataM, coherence.GrantX:
@@ -24,10 +24,10 @@ func (n *Node) handleCacheMsg(src network.NodeID, m *coherence.Msg) {
 
 // handleFill completes an outstanding miss with arriving data or an
 // upgrade grant.
-func (n *Node) handleFill(m *coherence.Msg) {
+func (n *Node) handleFill(m coherence.Msg) {
 	block := m.Addr
 	mshr, ok := n.mshrs[block]
-	n.invariant(ok, "fill %v without MSHR", m)
+	n.invariantAddr(ok, "fill without MSHR", block)
 	if mshr.invalidated {
 		// The block was invalidated while this fill was in flight: the
 		// data predates the invalidating write. Discard it and reissue
@@ -44,7 +44,7 @@ func (n *Node) handleFill(m *coherence.Msg) {
 		// guarantees our Shared copy survived (any older invalidation was
 		// delivered first on the same FIFO pair).
 		l2line := n.l2.Peek(block)
-		n.invariant(l2line != nil, "GrantX without L2 line %#x", uint64(block))
+		n.invariantAddr(l2line != nil, "GrantX without L2 line", block)
 		if l2line.State == cache.Shared {
 			l2line.State = cache.Exclusive
 		}
@@ -57,7 +57,7 @@ func (n *Node) handleFill(m *coherence.Msg) {
 			// no victim is free yet; retry so the granted permission can
 			// be used the moment it arrives (a slow refill here would let
 			// contending readers steal the line back forever).
-			n.parked = append(n.parked, &parkedProbe{src: n.id, msg: m})
+			n.parked = append(n.parked, parkedProbe{src: n.id, msg: m})
 			return
 		}
 		n.wakeWaiters(mshr)
@@ -79,7 +79,7 @@ func (n *Node) handleFill(m *coherence.Msg) {
 	if !n.installL2(block, m.Data, l2state) {
 		// No L2 victim available yet; retry next cycle via parked fill.
 		n.parkedFills[block] = true
-		n.parked = append(n.parked, &parkedProbe{src: n.id, msg: m})
+		n.parked = append(n.parked, parkedProbe{src: n.id, msg: m})
 		return
 	}
 	l1state := l2state
@@ -88,7 +88,7 @@ func (n *Node) handleFill(m *coherence.Msg) {
 	}
 	if !n.installL1(block, m.Data, l1state) {
 		n.parkedFills[block] = true
-		n.parked = append(n.parked, &parkedProbe{src: n.id, msg: m})
+		n.parked = append(n.parked, parkedProbe{src: n.id, msg: m})
 		return
 	}
 	delete(n.parkedFills, block)
@@ -102,14 +102,18 @@ func (n *Node) handleFill(m *coherence.Msg) {
 
 // retryParked re-attempts parked work each cycle: deferred probes
 // (commit-on-violate), probes that raced ahead of their data, and fills
-// waiting for a victim.
+// waiting for a victim. The parked list and a scratch slice swap backing
+// arrays, so the per-cycle retry loop allocates nothing; re-parked entries
+// append to the (empty) other slice while the iteration reads this one.
 func (n *Node) retryParked() {
 	if len(n.parked) == 0 {
 		return
 	}
 	pending := n.parked
-	n.parked = nil
-	for _, p := range pending {
+	n.parked = n.parkedScratch[:0]
+	n.parkedScratch = pending
+	for i := range pending {
+		p := &pending[i]
 		switch p.msg.Kind {
 		case coherence.Inv, coherence.FwdGetS, coherence.FwdGetX:
 			n.handleProbe(p.src, p.msg, p)
@@ -128,8 +132,9 @@ func probeWantsWrite(k coherence.MsgKind) bool {
 // handleProbe processes an external coherence request against this node:
 // violation detection against the speculative bits (§3.2), commit-on-violate
 // deferral, then the conventional MESI response. prior is non-nil when
-// retrying a parked probe.
-func (n *Node) handleProbe(src network.NodeID, m *coherence.Msg, prior *parkedProbe) {
+// retrying a parked probe (it points into retryParked's scratch snapshot,
+// which is stable while the retry loop runs; re-parking copies it).
+func (n *Node) handleProbe(src network.NodeID, m coherence.Msg, prior *parkedProbe) {
 	block := m.Addr
 
 	// ASO commit drain blocks the cache's external interface (§2.2).
@@ -162,13 +167,13 @@ func (n *Node) handleProbe(src network.NodeID, m *coherence.Msg, prior *parkedPr
 		if n.l2.Peek(block) == nil {
 			switch m.Kind {
 			case coherence.Inv:
-				n.send(src, &coherence.Msg{Kind: coherence.InvAck, Addr: block})
+				n.send(src, coherence.Msg{Kind: coherence.InvAck, Addr: block})
 			case coherence.FwdGetS:
-				n.send(m.Req, &coherence.Msg{Kind: coherence.FwdDataS, Addr: block, Data: wb.data, HasData: true})
-				n.send(src, &coherence.Msg{Kind: coherence.OwnerWBS, Addr: block, Data: wb.data, HasData: true})
+				n.send(m.Req, coherence.Msg{Kind: coherence.FwdDataS, Addr: block, Data: wb.data, HasData: true})
+				n.send(src, coherence.Msg{Kind: coherence.OwnerWBS, Addr: block, Data: wb.data, HasData: true})
 			case coherence.FwdGetX:
-				n.send(m.Req, &coherence.Msg{Kind: coherence.FwdDataM, Addr: block, Data: wb.data, HasData: true})
-				n.send(src, &coherence.Msg{Kind: coherence.XferAck, Addr: block})
+				n.send(m.Req, coherence.Msg{Kind: coherence.FwdDataM, Addr: block, Data: wb.data, HasData: true})
+				n.send(src, coherence.Msg{Kind: coherence.XferAck, Addr: block})
 			}
 			return
 		}
@@ -185,12 +190,12 @@ func (n *Node) handleProbe(src network.NodeID, m *coherence.Msg, prior *parkedPr
 			if mshr, ok := n.mshrs[block]; ok {
 				mshr.invalidated = true
 			}
-			n.send(src, &coherence.Msg{Kind: coherence.InvAck, Addr: block})
+			n.send(src, coherence.Msg{Kind: coherence.InvAck, Addr: block})
 			return
 		}
 		// A forward raced ahead of our inbound data (3-hop triangle);
 		// park until the fill lands.
-		n.invariant(n.mshrs[block] != nil, "probe %v for absent block with no MSHR", m)
+		n.invariantAddr(n.mshrs[block] != nil, "probe for absent block with no MSHR", block)
 		n.park(src, m, prior)
 		return
 	}
@@ -249,31 +254,31 @@ func (n *Node) handleProbe(src network.NodeID, m *coherence.Msg, prior *parkedPr
 	switch m.Kind {
 	case coherence.Inv:
 		if l1line != nil {
-			n.invariant(!l1line.SpecAny(), "Inv serving a speculative line %#x", uint64(block))
+			n.invariantAddr(!l1line.SpecAny(), "Inv serving a speculative line", block)
 			n.l1.Invalidate(block)
 		}
 		if l2line != nil {
 			n.l2.Invalidate(block)
 		}
-		n.send(src, &coherence.Msg{Kind: coherence.InvAck, Addr: block})
+		n.send(src, coherence.Msg{Kind: coherence.InvAck, Addr: block})
 
 	case coherence.FwdGetS:
 		if l1line != nil {
-			n.invariant(!l1line.SpecWrittenAny(), "FwdGetS downgrading a speculatively-written line %#x", uint64(block))
+			n.invariantAddr(!l1line.SpecWrittenAny(), "FwdGetS downgrading a speculatively-written line", block)
 		}
 		data := n.latestData(l1line, l2line, block)
 		if l1line != nil {
 			l1line.State = cache.Shared
 		}
-		n.invariant(l2line != nil, "FwdGetS owner without L2 line %#x", uint64(block))
+		n.invariantAddr(l2line != nil, "FwdGetS owner without L2 line", block)
 		l2line.Data = data
 		l2line.State = cache.Shared
-		n.send(m.Req, &coherence.Msg{Kind: coherence.FwdDataS, Addr: block, Data: data, HasData: true})
-		n.send(src, &coherence.Msg{Kind: coherence.OwnerWBS, Addr: block, Data: data, HasData: true})
+		n.send(m.Req, coherence.Msg{Kind: coherence.FwdDataS, Addr: block, Data: data, HasData: true})
+		n.send(src, coherence.Msg{Kind: coherence.OwnerWBS, Addr: block, Data: data, HasData: true})
 
 	case coherence.FwdGetX:
 		if l1line != nil {
-			n.invariant(!l1line.SpecAny(), "FwdGetX taking a speculative line %#x", uint64(block))
+			n.invariantAddr(!l1line.SpecAny(), "FwdGetX taking a speculative line", block)
 		}
 		data := n.latestData(l1line, l2line, block)
 		if l1line != nil {
@@ -282,8 +287,8 @@ func (n *Node) handleProbe(src network.NodeID, m *coherence.Msg, prior *parkedPr
 		if l2line != nil {
 			n.l2.Invalidate(block)
 		}
-		n.send(m.Req, &coherence.Msg{Kind: coherence.FwdDataM, Addr: block, Data: data, HasData: true})
-		n.send(src, &coherence.Msg{Kind: coherence.XferAck, Addr: block})
+		n.send(m.Req, coherence.Msg{Kind: coherence.FwdDataM, Addr: block, Data: data, HasData: true})
+		n.send(src, coherence.Msg{Kind: coherence.XferAck, Addr: block})
 	}
 }
 
@@ -294,16 +299,20 @@ func (n *Node) latestData(l1line, l2line *cache.Line, block memtypes.Addr) memty
 	if l1line != nil && l1line.State == cache.Modified && !l1line.SpecWrittenAny() {
 		return l1line.Data
 	}
-	n.invariant(l2line != nil, "no data source for %#x", uint64(block))
+	n.invariantAddr(l2line != nil, "no data source for block", block)
 	return l2line.Data
 }
 
-func (n *Node) park(src network.NodeID, m *coherence.Msg, prior *parkedProbe) {
+// park queues a probe for retry next cycle. prior (a retry's scratch entry)
+// carries CoV deferral state forward; its fields are copied into the live
+// parked list, never retained by pointer.
+func (n *Node) park(src network.NodeID, m coherence.Msg, prior *parkedProbe) {
 	if prior != nil {
-		prior.src = src
-		prior.msg = m
-		n.parked = append(n.parked, prior)
+		p := *prior
+		p.src = src
+		p.msg = m
+		n.parked = append(n.parked, p)
 		return
 	}
-	n.parked = append(n.parked, &parkedProbe{src: src, msg: m})
+	n.parked = append(n.parked, parkedProbe{src: src, msg: m})
 }

@@ -33,6 +33,11 @@ type Coalescing struct {
 	capacity int
 	nextSeq  uint64
 
+	// free recycles removed entries: occupancy is capacity-bounded, so after
+	// warm-up every Store that needs a fresh entry pops one here and the
+	// speculation-path store stream allocates nothing.
+	free []*CoalescingEntry
+
 	Merges, Allocs, FullStalls uint64
 }
 
@@ -86,7 +91,14 @@ func (c *Coalescing) Store(addr memtypes.Addr, val memtypes.Word, epoch int) boo
 		return false
 	}
 	c.nextSeq++
-	e := &CoalescingEntry{Block: block, Epoch: epoch, seq: c.nextSeq}
+	var e *CoalescingEntry
+	if k := len(c.free); k > 0 {
+		e = c.free[k-1]
+		c.free = c.free[:k-1]
+		*e = CoalescingEntry{Block: block, Epoch: epoch, seq: c.nextSeq}
+	} else {
+		e = &CoalescingEntry{Block: block, Epoch: epoch, seq: c.nextSeq}
+	}
 	e.Words[wi] = val
 	e.Valid[wi] = true
 	c.entries = append(c.entries, e)
@@ -155,11 +167,13 @@ func (c *Coalescing) IsOldestForBlock(target *CoalescingEntry) bool {
 	panic("storebuffer: IsOldestForBlock of entry not present")
 }
 
-// Remove deletes an entry (after its words have been written to the L1).
+// Remove deletes an entry (after its words have been written to the L1) and
+// recycles it.
 func (c *Coalescing) Remove(target *CoalescingEntry) {
 	for i, e := range c.entries {
 		if e == target {
 			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			c.free = append(c.free, target)
 			return
 		}
 	}
@@ -176,6 +190,7 @@ func (c *Coalescing) FlashInvalidateSpec(epoch int) int {
 	for _, e := range c.entries {
 		if e.Epoch == epoch {
 			dropped++
+			c.free = append(c.free, e)
 		} else {
 			kept = append(kept, e)
 		}
