@@ -2,7 +2,8 @@
 // reference grid — the seven paper workloads under conventional SC and
 // INVISIFENCE-SELECTIVE-SC — and records the trajectory as a BENCH_<n>.json
 // file, so every PR that touches the core leaves a measured data point
-// behind. Grid cells run under the parallel runner (-clusters, default 4);
+// behind. Grid cells run under the parallel runner (-clusters; by default
+// derived from GOMAXPROCS and the 16-node grid, see defaultClusters);
 // simulated results are scheduler-independent (TestGoldenResults,
 // TestParallelBitExact), so trajectories stay comparable across files.
 //
@@ -12,6 +13,12 @@
 // naive lock-step loop, recording the serial-to-parallel trajectory per
 // cell: lock-step ns, serial ns, parallel ns, and the derived speedups.
 //
+// Besides the latency-only grid it measures two contention smoke cells —
+// apache under conventional SC and Invisi_sc with a finite link bandwidth
+// (-linkbw, cycles/flit) — so the per-link contention model's cost and its
+// queuing-delay telemetry are tracked in every BENCH file and in the
+// -quick CI artifact.
+//
 // Usage:
 //
 //	bench                 # full grid at scale 1.0, 3 iterations per cell
@@ -19,6 +26,7 @@
 //	bench -out results/   # write BENCH_<n>.json into a directory
 //	bench -workloads apache,ocean -variants sc -iters 5
 //	bench -clusters 0     # measure the serial schedulers only
+//	bench -clusters -1    # explicit auto: derive clusters from GOMAXPROCS
 package main
 
 import (
@@ -34,18 +42,23 @@ import (
 	"invisifence"
 )
 
-// benchRun is one measured grid cell.
+// benchRun is one measured grid cell. LinkBandwidth and the queuing-delay
+// telemetry identify and describe contention cells (0 for the latency-only
+// torus); cmd/benchdiff keys on LinkBandwidth and carries — but never
+// gates on — the delay columns.
 type benchRun struct {
-	Workload     string  `json:"workload"`
-	Variant      string  `json:"variant"`
-	Scale        float64 `json:"scale"`
-	Iters        int     `json:"iters"`
-	SimCycles    uint64  `json:"sim_cycles"`
-	Retired      uint64  `json:"retired"`
-	NsPerRun     int64   `json:"ns_per_run"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerRun uint64  `json:"allocs_per_run"`
-	BytesPerRun  uint64  `json:"bytes_per_run"`
+	Workload         string  `json:"workload"`
+	Variant          string  `json:"variant"`
+	Scale            float64 `json:"scale"`
+	LinkBandwidth    uint64  `json:"link_bandwidth,omitempty"`
+	Iters            int     `json:"iters"`
+	SimCycles        uint64  `json:"sim_cycles"`
+	Retired          uint64  `json:"retired"`
+	NsPerRun         int64   `json:"ns_per_run"`
+	CyclesPerSec     float64 `json:"cycles_per_sec"`
+	AllocsPerRun     uint64  `json:"allocs_per_run"`
+	BytesPerRun      uint64  `json:"bytes_per_run"`
+	QueueDelayPerMsg float64 `json:"queue_delay_per_msg,omitempty"`
 }
 
 // reference pins one cell's scheduler trajectory: the same simulation under
@@ -100,20 +113,40 @@ func measure(cfg invisifence.Config, iters int) (benchRun, error) {
 	runtime.ReadMemStats(&ms1)
 	ns := elapsed.Nanoseconds() / int64(iters)
 	r := benchRun{
-		Workload:     cfg.Workload,
-		Variant:      cfg.Variant.Name,
-		Scale:        cfg.Scale,
-		Iters:        iters,
-		SimCycles:    res.Cycles,
-		Retired:      res.Retired,
-		NsPerRun:     ns,
-		AllocsPerRun: (ms1.Mallocs - ms0.Mallocs) / uint64(iters),
-		BytesPerRun:  (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters),
+		Workload:         cfg.Workload,
+		Variant:          cfg.Variant.Name,
+		Scale:            cfg.Scale,
+		LinkBandwidth:    cfg.Machine.LinkBandwidth,
+		Iters:            iters,
+		SimCycles:        res.Cycles,
+		Retired:          res.Retired,
+		NsPerRun:         ns,
+		AllocsPerRun:     (ms1.Mallocs - ms0.Mallocs) / uint64(iters),
+		BytesPerRun:      (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters),
+		QueueDelayPerMsg: res.QueueDelayPerMsg(),
 	}
 	if ns > 0 {
 		r.CyclesPerSec = float64(res.Cycles) / (float64(ns) / 1e9)
 	}
 	return r, nil
+}
+
+// defaultClusters derives the parallel-runner cluster count from
+// GOMAXPROCS, clamped to [4, 16]: the reference grid simulates 16 nodes, so
+// more clusters than nodes is never useful, and on small hosts the floor
+// keeps the historical 4-cluster configuration (ROADMAP "Adaptive cluster
+// count": on 1 CPU, 2-16 clusters measure within noise and all beat serial
+// — the per-node clocks, not the parallelism, carry the win — so the floor
+// costs nothing while keeping trajectories comparable with BENCH_2/3).
+func defaultClusters() int {
+	k := runtime.GOMAXPROCS(0)
+	if k < 4 {
+		return 4
+	}
+	if k > 16 {
+		return 16
+	}
+	return k
 }
 
 // nextBenchPath returns dir/BENCH_<n>.json for the smallest unused n >= 1.
@@ -135,8 +168,13 @@ func main() {
 	variants := flag.String("variants", "sc,invisi-sc", "comma-separated variant names")
 	noRef := flag.Bool("no-reference", false, "skip the apache scheduler-trajectory measurements")
 	preNs := flag.Int64("prerefactor-ns", 0, "measured ns/run of the pre-refactor (seed) core for apache/SC at the same scale on this host; recorded for the trajectory")
-	clusters := flag.Int("clusters", 4, "parallel-runner clusters for grid cells (0 = serial event-horizon scheduler)")
+	clusters := flag.Int("clusters", -1, "parallel-runner clusters for grid cells (-1 = derive from GOMAXPROCS, 0 = serial event-horizon scheduler)")
+	linkbw := flag.Uint64("linkbw", 4, "link bandwidth in cycles/flit for the contention smoke cells (0 skips them; only run on the unfiltered reference grid)")
 	flag.Parse()
+
+	if *clusters < 0 {
+		*clusters = defaultClusters()
+	}
 
 	if *iters == 0 {
 		if *quick {
@@ -189,6 +227,36 @@ func main() {
 			file.Runs = append(file.Runs, r)
 			fmt.Fprintf(os.Stderr, "%-12s %-12s %9d cycles  %12d ns/run  %10.0f cycles/s  %8d allocs\n",
 				r.Workload, r.Variant, r.SimCycles, r.NsPerRun, r.CyclesPerSec, r.AllocsPerRun)
+		}
+	}
+
+	// Contention smoke cells: the SC-vs-Invisi_sc reference pair under a
+	// congested torus, so the contention model's wall-clock cost and its
+	// queuing-delay telemetry ride every BENCH file (and the -quick CI
+	// artifact). benchdiff keys these cells by their link_bandwidth, apart
+	// from the latency-only grid. A filtered invocation (-workloads or
+	// -variants) is a targeted measurement, not the reference grid, so the
+	// extras are skipped — same spirit as -no-reference for the
+	// scheduler-trajectory cells.
+	if *linkbw > 0 && *workloads == "" && *variants == "sc,invisi-sc" {
+		for _, vn := range []string{"sc", "invisi-sc"} {
+			v, err := invisifence.VariantByName(vn)
+			if err != nil {
+				fail(err)
+			}
+			cfg := invisifence.DefaultConfig()
+			cfg.Workload = "apache"
+			cfg.Variant = v
+			cfg.Scale = *scale
+			cfg.Clusters = *clusters
+			cfg.Machine.LinkBandwidth = *linkbw
+			r, err := measure(cfg, *iters)
+			if err != nil {
+				fail(err)
+			}
+			file.Runs = append(file.Runs, r)
+			fmt.Fprintf(os.Stderr, "%-12s %-12s %9d cycles  %12d ns/run  %10.0f cycles/s  qdelay/msg %.1f  (linkbw %d)\n",
+				r.Workload, r.Variant, r.SimCycles, r.NsPerRun, r.CyclesPerSec, r.QueueDelayPerMsg, r.LinkBandwidth)
 		}
 	}
 

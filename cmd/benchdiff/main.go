@@ -7,10 +7,12 @@
 // PR that slows the simulator core down trips the gate with a per-cell
 // table rather than a vague timeout.
 //
-// Cells are matched by (workload, variant, scale); cells present in only
-// one file are reported but never fail the gate (grids may grow). Files
-// measured at different -quick settings are refused — their rates are not
-// comparable.
+// Cells are matched by (workload, variant, scale, link bandwidth); cells
+// present in only one file are reported but never fail the gate (grids may
+// grow). Contention cells additionally carry their queuing-delay-per-
+// message telemetry into the report — informational only, never gated.
+// Files measured at different -quick settings are refused — their rates
+// are not comparable.
 //
 // Usage:
 //
@@ -31,13 +33,19 @@ import (
 )
 
 // cell mirrors the cmd/bench run schema fields benchdiff consumes (v1 and
-// v2 files both decode).
+// v2 files both decode; the contention fields are absent — zero — in
+// pre-contention files). QueueDelayPerMsg is carried into the report for
+// trend-watching but never gated: queuing delay is simulated machine
+// behavior, not host performance, so a delay change is a model change to
+// review, not a regression to block.
 type cell struct {
-	Workload     string  `json:"workload"`
-	Variant      string  `json:"variant"`
-	Scale        float64 `json:"scale"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerRun uint64  `json:"allocs_per_run"`
+	Workload         string  `json:"workload"`
+	Variant          string  `json:"variant"`
+	Scale            float64 `json:"scale"`
+	LinkBandwidth    uint64  `json:"link_bandwidth"`
+	CyclesPerSec     float64 `json:"cycles_per_sec"`
+	AllocsPerRun     uint64  `json:"allocs_per_run"`
+	QueueDelayPerMsg float64 `json:"queue_delay_per_msg"`
 }
 
 type benchFile struct {
@@ -95,7 +103,29 @@ func load(path string) (benchFile, string, error) {
 	return f, p, nil
 }
 
-func key(c cell) string { return fmt.Sprintf("%s/%s@%g", c.Workload, c.Variant, c.Scale) }
+// key identifies a grid cell across files. Contention cells carry their
+// link bandwidth in the key; latency-only cells (LinkBandwidth 0, including
+// every cell of a pre-contention file) keep the historical key so old and
+// new artifacts keep matching.
+func key(c cell) string {
+	k := fmt.Sprintf("%s/%s@%g", c.Workload, c.Variant, c.Scale)
+	if c.LinkBandwidth > 0 {
+		k += fmt.Sprintf("+lbw%d", c.LinkBandwidth)
+	}
+	return k
+}
+
+// qdelayCol renders the carried (never gated) queuing-delay column for a
+// cell that has the telemetry on either side of the diff.
+func qdelayCol(o, n cell, haveOld bool) string {
+	if o.QueueDelayPerMsg == 0 && n.QueueDelayPerMsg == 0 {
+		return ""
+	}
+	if !haveOld {
+		return fmt.Sprintf("  qdelay/msg %.1f", n.QueueDelayPerMsg)
+	}
+	return fmt.Sprintf("  qdelay/msg %.1f -> %.1f", o.QueueDelayPerMsg, n.QueueDelayPerMsg)
+}
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated cycles/s regression per cell (0.10 = 10%)")
@@ -148,7 +178,8 @@ func main() {
 		n := cur[k]
 		o, ok := old[k]
 		if !ok || o.CyclesPerSec <= 0 {
-			fmt.Printf("  %-32s %12.0f cycles/s  %9d allocs  (new cell)\n", k, n.CyclesPerSec, n.AllocsPerRun)
+			fmt.Printf("  %-36s %12.0f cycles/s  %9d allocs%s  (new cell)\n",
+				k, n.CyclesPerSec, n.AllocsPerRun, qdelayCol(o, n, false))
 			continue
 		}
 		ratio := n.CyclesPerSec/o.CyclesPerSec - 1
@@ -167,12 +198,12 @@ func main() {
 		if mark != "" {
 			regressed++
 		}
-		fmt.Printf("  %-32s %12.0f -> %12.0f cycles/s  %+6.1f%%  %9d -> %9d allocs  %+6.1f%%%s\n",
-			k, o.CyclesPerSec, n.CyclesPerSec, ratio*100, o.AllocsPerRun, n.AllocsPerRun, allocDelta*100, mark)
+		fmt.Printf("  %-36s %12.0f -> %12.0f cycles/s  %+6.1f%%  %9d -> %9d allocs  %+6.1f%%%s%s\n",
+			k, o.CyclesPerSec, n.CyclesPerSec, ratio*100, o.AllocsPerRun, n.AllocsPerRun, allocDelta*100, qdelayCol(o, n, true), mark)
 	}
 	for k := range old {
 		if _, ok := cur[k]; !ok {
-			fmt.Printf("  %-32s dropped from grid\n", k)
+			fmt.Printf("  %-36s dropped from grid\n", k)
 		}
 	}
 	if regressed > 0 {

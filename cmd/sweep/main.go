@@ -1,7 +1,7 @@
 // Command sweep runs a declarative parameter grid — workloads × variants ×
-// store-buffer depth × checkpoints × node count × seeds — on a bounded
-// worker pool, persisting every result to a content-addressed cache so
-// repeated sweeps (and overlapping ones) re-simulate nothing.
+// store-buffer depth × checkpoints × node count × link bandwidth × seeds —
+// on a bounded worker pool, persisting every result to a content-addressed
+// cache so repeated sweeps (and overlapping ones) re-simulate nothing.
 //
 // The grid comes from a JSON spec file and/or flags (flags override the
 // file). Results go to stdout as a deterministic table; progress and cache
@@ -14,6 +14,7 @@
 //	sweep -spec grid.json -parallel 8 -markdown
 //	sweep -workloads barnes -variants invisi-sc -sb 2,4,8,16 -scale 0.2
 //	sweep -variants invisi-sc -nodes 4,8,16        # scaling curve
+//	sweep -workloads apache -variants sc,invisi-sc -linkbw 0,2,8   # contention curve
 //
 // where grid.json looks like:
 //
@@ -74,6 +75,7 @@ func main() {
 	sb := flag.String("sb", "", "comma-separated store-buffer depths (0 = variant default)")
 	ckpts := flag.String("ckpts", "", "comma-separated checkpoint counts (0 = variant default)")
 	nodes := flag.String("nodes", "", "comma-separated node counts (each factored into the squarest torus)")
+	linkbw := flag.String("linkbw", "", "comma-separated link bandwidths in cycles/flit (0 = latency-only torus)")
 	seeds := flag.String("seeds", "", "comma-separated seeds (default: 1)")
 	scale := flag.Float64("scale", 0, "workload size multiplier (default 1.0)")
 	maxCycles := flag.Uint64("maxcycles", 0, "per-run cycle bound (0 = runner default)")
@@ -118,6 +120,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *linkbw != "" {
+		bws, err := splitInts(*linkbw)
+		if err != nil {
+			fatal(err)
+		}
+		spec.LinkBandwidths = spec.LinkBandwidths[:0]
+		for _, bw := range bws {
+			if bw < 0 {
+				fatal(fmt.Errorf("negative link bandwidth %d", bw))
+			}
+			spec.LinkBandwidths = append(spec.LinkBandwidths, uint64(bw))
+		}
+	}
 	if *seeds != "" {
 		if spec.Seeds, err = splitInt64s(*seeds); err != nil {
 			fatal(err)
@@ -136,9 +151,9 @@ func main() {
 			fatal(err)
 		}
 		for i, j := range jobs {
-			fmt.Printf("%4d  %-12s %-20s nodes=%d sb=%d seed=%d\n", i,
+			fmt.Printf("%4d  %-12s %-20s nodes=%d sb=%d linkbw=%d seed=%d\n", i,
 				j.Workload, j.Variant.Name, j.Machine.Width*j.Machine.Height,
-				j.Variant.SBCapacity, j.Seed)
+				j.Variant.SBCapacity, j.Machine.LinkBandwidth, j.Seed)
 		}
 		fmt.Fprintf(os.Stderr, "%d jobs\n", len(jobs))
 		return

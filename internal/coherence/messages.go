@@ -9,6 +9,17 @@
 // write serialization the consistency implementations rely on. Dirty data is
 // forwarded owner-to-requestor (3-hop), with a completion message unblocking
 // the directory.
+//
+// This package also owns the machine's wire format: Msg is the single
+// message type carried over the interconnect, a pointer-free plain value
+// that internal/network embeds inline in its Message — there is no `any`
+// box and no per-message heap allocation (DESIGN.md §9). The import
+// relation runs transport → wire format: coherence sits below network
+// (memtypes.NodeID at the bottom names nodes for both), and the Directory
+// reaches the interconnect only through the narrow Port interface, which
+// the network (whole torus or one shard) implements. Msg.HasData also
+// drives the network's flit sizing when its per-link contention model is
+// enabled (DESIGN.md §10).
 package coherence
 
 import (

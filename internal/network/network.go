@@ -1,15 +1,23 @@
 // Package network models the 4x4 2D torus interconnect from Figure 6 of the
 // paper. It provides point-to-point message delivery with per-hop latency,
-// FIFO ordering between each (source, destination) pair, and an optional
-// seeded jitter used by the litmus-test harness to explore interleavings.
-//
-// The model captures latency and ordering, not link contention: Figure 6's
-// 128 GB/s bisection bandwidth is far from saturated by 16 cores at the miss
-// rates these workloads exhibit (see DESIGN.md §5).
+// FIFO ordering between each (source, destination) pair, an optional seeded
+// jitter used by the litmus-test harness to explore interleavings, and —
+// when Config.LinkBandwidth is non-zero — a per-link contention model:
+// every node's router has four directed injection links with finite
+// bandwidth (a configurable number of cycles per flit), messages queue at a
+// busy link in send order, and the resulting queuing delay adds to the
+// delivery latency (DESIGN.md §10). With LinkBandwidth zero (the default)
+// the torus is latency-only and bit-exact with the pre-contention
+// simulator: Figure 6's 128 GB/s bisection bandwidth is far from saturated
+// by 16 cores at these miss rates (DESIGN.md §5), so contention is a
+// fidelity knob for congestion studies, not part of the calibrated machine.
 //
 // The implementation is allocation-free on the steady-state path: messages
-// are values (no per-send boxing), the in-flight set is a hand-rolled binary
-// heap of values, and per-destination inboxes are reusable ring buffers.
+// are values (no per-send boxing) carrying the coherence protocol's wire
+// format (coherence.Msg) inline, the in-flight set is a hand-rolled binary
+// heap of values, per-destination inboxes are reusable ring buffers, and
+// the per-link occupancy windows used for queue-depth accounting are
+// reusable rings as well.
 package network
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"invisifence/internal/coherence"
 	"invisifence/internal/memtypes"
+	"invisifence/internal/stats"
 )
 
 // NodeID identifies a node (core + caches + directory slice) in the system.
@@ -57,6 +66,35 @@ type Config struct {
 	LocalLatency  uint64 // latency for a node messaging itself (its own home slice)
 	Jitter        uint64 // max extra random cycles per message (0 = deterministic)
 	Seed          int64  // jitter RNG seed
+
+	// LinkBandwidth enables the per-link contention model: each of a
+	// node's four directed injection links transmits one flit per
+	// LinkBandwidth cycles, a message occupies its link for flits x
+	// LinkBandwidth cycles, and messages finding the link busy queue in
+	// send order, the wait adding to their delivery latency (DESIGN.md
+	// §10). Control messages are one flit; data-bearing messages add
+	// DataFlits for the 64-byte block. 0 (the default) disables the model
+	// entirely — latency-only delivery, bit-exact with the pre-contention
+	// simulator and free of contention bookkeeping.
+	LinkBandwidth uint64
+}
+
+// Flit sizing for the contention model: a 16-byte link width makes a
+// 64-byte cache block four flits, plus one header/command flit for every
+// message (coherence.Msg addressing and kind).
+const (
+	headerFlits = 1
+	// DataFlits is the extra flits a data-bearing message occupies a link
+	// for (memtypes.BlockBytes / 16-byte flit width).
+	DataFlits = memtypes.BlockBytes / 16
+)
+
+// FlitsOf returns the number of flits m occupies on a link.
+func FlitsOf(m coherence.Msg) uint64 {
+	if m.HasData {
+		return headerFlits + DataFlits
+	}
+	return headerFlits
 }
 
 // DefaultConfig returns the Figure 6 interconnect: a 4x4 torus with
@@ -139,13 +177,27 @@ type Network struct {
 	// sender's shard, and every node is owned by exactly one shard.
 	lastArrive []uint64
 
+	// Link contention state (nil/empty when Config.LinkBandwidth == 0).
+	// Indexed src*numLinks+direction: every injection link belongs to
+	// exactly one source node, so in shard mode only owned sources' links
+	// are ever touched — contention state lives with the sender's shard,
+	// exactly like the per-pair FIFO state (DESIGN.md §10). linkFreeAt is
+	// the first cycle the link is idle again (reservation model);
+	// linkWindows holds the end cycles of the link's outstanding occupancy
+	// windows, drained lazily at each send, for queue-depth accounting.
+	linkFreeAt  []uint64
+	linkWindows []endRing
+
 	// Counters for bandwidth accounting and tests. In shard mode Sent and
 	// TotalHops count sends by this shard's nodes and Delivered counts
 	// deliveries into this shard's inboxes; summing over shards matches the
-	// serial counters exactly.
-	Sent      uint64
-	Delivered uint64
-	TotalHops uint64
+	// serial counters exactly. Contention aggregates the link-occupancy
+	// telemetry the same way: per-link state is per-source, so summing the
+	// shard instances (stats.NetStats.Merge) reproduces the serial counters.
+	Sent       uint64
+	Delivered  uint64
+	TotalHops  uint64
+	Contention stats.NetStats
 }
 
 // New creates a network with the given configuration.
@@ -164,6 +216,10 @@ func New(cfg Config) *Network {
 		cfg:        cfg,
 		inboxes:    make([]inbox, nodes),
 		lastArrive: make([]uint64, nodes*nodes),
+	}
+	if cfg.LinkBandwidth > 0 {
+		n.linkFreeAt = make([]uint64, nodes*numLinks)
+		n.linkWindows = make([]endRing, nodes*numLinks)
 	}
 	if cfg.Jitter > 0 {
 		n.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -247,7 +303,8 @@ func absDiff(a, b int) int {
 	return b - a
 }
 
-// Latency returns the base delivery latency from a to b, before jitter.
+// Latency returns the base delivery latency from a to b, before jitter and
+// link contention.
 func (n *Network) Latency(a, b NodeID) uint64 {
 	h := n.Hops(a, b)
 	if h == 0 {
@@ -256,11 +313,124 @@ func (n *Network) Latency(a, b NodeID) uint64 {
 	return uint64(h) * n.cfg.HopLatency
 }
 
+// numLinks is the number of directed injection links per node's router —
+// +X, -X, +Y, -Y — the four torus channels a message can leave on.
+// Dimension-order routing picks exactly one per message; self-sends never
+// enter the network and bypass the links (and the contention model).
+const numLinks = 4
+
+const (
+	linkXPos = iota
+	linkXNeg
+	linkYPos
+	linkYNeg
+)
+
+// linkOf returns the index of the injection link a message from a to b
+// occupies under dimension-order (X before Y) routing taking the
+// shorter wrap direction (positive on a tie), or -1 for a self-send.
+func (n *Network) linkOf(a, b NodeID) int {
+	ax, ay := int(a)%n.cfg.Width, int(a)/n.cfg.Width
+	bx, by := int(b)%n.cfg.Width, int(b)/n.cfg.Width
+	if ax != bx {
+		if fwd := (bx - ax + n.cfg.Width) % n.cfg.Width; 2*fwd <= n.cfg.Width {
+			return int(a)*numLinks + linkXPos
+		}
+		return int(a)*numLinks + linkXNeg
+	}
+	if ay != by {
+		if fwd := (by - ay + n.cfg.Height) % n.cfg.Height; 2*fwd <= n.cfg.Height {
+			return int(a)*numLinks + linkYPos
+		}
+		return int(a)*numLinks + linkYNeg
+	}
+	return -1
+}
+
+// reserveLink runs the contention model for one send (only called with
+// LinkBandwidth > 0): the message claims its injection link in send order
+// (per-link FIFO, the queuing discipline), waiting while the link is busy
+// with earlier messages, then occupies it for flits x LinkBandwidth cycles.
+// It returns the cycle the tail flit leaves the link (serialization
+// complete, propagation begins) and accounts the contention telemetry; the
+// transmission-start excess over now is the message's queuing delay.
+//
+// The reservation is eager: the link's future occupancy is resolved at send
+// time, which is exact because a link belongs to one source node and that
+// node's sends reach it in nondecreasing cycle order under every runner
+// (DESIGN.md §10 has the equivalence argument with a queue-at-the-link
+// formulation).
+func (n *Network) reserveLink(src, dst NodeID, payload coherence.Msg) uint64 {
+	li := n.linkOf(src, dst)
+	if li < 0 {
+		return n.now
+	}
+	occ := FlitsOf(payload) * n.cfg.LinkBandwidth
+	depart := n.now
+	c := &n.Contention
+	c.Messages++
+	if free := n.linkFreeAt[li]; free > depart {
+		depart = free
+		c.QueuedMessages++
+		c.QueueDelayCycles += free - n.now
+	}
+	n.linkFreeAt[li] = depart + occ
+	c.LinkBusyCycles += occ
+	// Queue-depth accounting: occupancy windows end in nondecreasing order
+	// (back-to-back reservations), so dropping the expired prefix leaves
+	// exactly the messages still holding or awaiting this link.
+	w := &n.linkWindows[li]
+	w.dropThrough(n.now)
+	w.push(depart + occ)
+	if d := uint64(w.len()); d > c.MaxQueueDepth {
+		c.MaxQueueDepth = d
+	}
+	return depart + occ
+}
+
+// endRing is one link's outstanding occupancy-window end cycles: a ring
+// that reuses its backing storage like inbox, so steady-state contention
+// accounting allocates nothing once rings reach the peak backlog.
+type endRing struct {
+	q    []uint64
+	head int
+}
+
+func (r *endRing) len() int { return len(r.q) - r.head }
+
+func (r *endRing) push(end uint64) { r.q = append(r.q, end) }
+
+// dropThrough discards windows that ended at or before now. Ends are
+// pushed in nondecreasing order, so the live windows are always a suffix.
+func (r *endRing) dropThrough(now uint64) {
+	for r.head < len(r.q) && r.q[r.head] <= now {
+		r.head++
+	}
+	switch {
+	case r.head == len(r.q):
+		r.q = r.q[:0]
+		r.head = 0
+	case r.head >= 64 && r.head*2 >= len(r.q):
+		// Same amortized-O(1) compaction rule as inbox: move elements only
+		// once the dead prefix dominates.
+		k := copy(r.q, r.q[r.head:])
+		r.q = r.q[:k]
+		r.head = 0
+	}
+}
+
 // Send enqueues a message for delivery. It may be called at any point within
 // a cycle; delivery happens at a strictly later cycle. In shard mode src
 // must be a node this shard owns (sends only happen inside an owned node's
 // tick); a foreign dst parks the message in the outbox for the next barrier
 // exchange. The signature implements coherence.Port.
+//
+// With LinkBandwidth > 0 delivery decomposes as queuing delay (waiting for
+// the injection link) + serialization (flits x LinkBandwidth on the link) +
+// propagation (hop latency, plus jitter); contention only ever delays a
+// message, so every lower bound the schedulers rely on — delivery strictly
+// after the send, and cross-shard arrival no earlier than send + minimum
+// cross-cluster latency (the parallel lookahead) — survives unchanged.
 func (n *Network) Send(src, dst NodeID, payload coherence.Msg) {
 	if int(dst) < 0 || int(dst) >= n.Nodes() {
 		panic(fmt.Sprintf("network: send to invalid node %d", dst))
@@ -269,7 +439,11 @@ func (n *Network) Send(src, dst NodeID, payload coherence.Msg) {
 	if n.rng != nil && n.cfg.Jitter > 0 {
 		lat += uint64(n.rng.Int63n(int64(n.cfg.Jitter) + 1))
 	}
-	arrive := n.now + lat
+	txDone := n.now
+	if n.cfg.LinkBandwidth > 0 {
+		txDone = n.reserveLink(src, dst, payload)
+	}
+	arrive := txDone + lat
 	if arrive <= n.now {
 		arrive = n.now + 1
 	}
@@ -320,9 +494,12 @@ func (n *Network) Recv(dst NodeID) (Message, bool) {
 // idle-skip scheduler treats a non-empty inbox as immediate work.
 func (n *Network) InboxLen(dst NodeID) int { return n.inboxes[dst].len() }
 
-// NextEvent returns the earliest delivery cycle of any in-flight message,
-// or memtypes.NoEvent when nothing is in flight. Delivered-but-unconsumed
-// messages are per-destination state reported via InboxLen.
+// NextEvent returns the earliest cycle at which this network (whole torus
+// or one shard) next changes state on its own: the earliest in-flight
+// delivery, folded with the earliest link release (LinkNextEvent) when the
+// contention model is on; memtypes.NoEvent when neither is pending.
+// Delivered-but-unconsumed messages are per-destination state reported via
+// InboxLen.
 //
 // Monotonicity contract (shared by every NextEvent in the simulator): the
 // hint is valid until the component's state next changes — here, until a
@@ -333,10 +510,54 @@ func (n *Network) InboxLen(dst NodeID) int { return n.inboxes[dst].len() }
 // the destination shard's future events, accounted after injection at the
 // barrier that precedes any cycle at which they could arrive.
 func (n *Network) NextEvent() uint64 {
-	if len(n.flight) == 0 {
-		return memtypes.NoEvent
+	ev := uint64(memtypes.NoEvent)
+	if len(n.flight) > 0 {
+		ev = n.flight[0].arrive
 	}
-	return n.flight[0].arrive
+	if n.linkFreeAt != nil {
+		if le := n.LinkNextEvent(); le < ev {
+			ev = le
+		}
+	}
+	return ev
+}
+
+// LinkNextEvent is the per-shard link-occupancy horizon: the earliest
+// cycle at which a currently-busy injection link frees, or
+// memtypes.NoEvent when every link is idle (always, with LinkBandwidth 0).
+// NextEvent folds it in so the event-horizon schedulers stay exact under
+// contention by construction: no link state transition can hide inside a
+// skipped stretch. The fold is conservative — a release itself mutates
+// nothing (reservations are resolved eagerly at Send, and expired
+// occupancy windows are dropped lazily at the link's next send), so waking
+// at one costs at most a wasted tick per message, never a divergence; see
+// the DESIGN.md §10 bound proof. Releases satisfy the strictly-future
+// property the schedulers assert (release = depart + occupancy > send
+// cycle), and a pending release is never jumped over, so the returned
+// cycle always exceeds the caller's clock.
+func (n *Network) LinkNextEvent() uint64 {
+	ev := uint64(memtypes.NoEvent)
+	if n.owned != nil {
+		// Shard mode: only owned sources ever touch their links, so the
+		// scan skips other shards' permanently-idle slots.
+		for id, own := range n.owned {
+			if !own {
+				continue
+			}
+			for li := id * numLinks; li < (id+1)*numLinks; li++ {
+				if free := n.linkFreeAt[li]; free > n.now && free < ev {
+					ev = free
+				}
+			}
+		}
+		return ev
+	}
+	for _, free := range n.linkFreeAt {
+		if free > n.now && free < ev {
+			ev = free
+		}
+	}
+	return ev
 }
 
 // Pending reports the number of undelivered plus delivered-but-unconsumed

@@ -6,7 +6,11 @@
 //   - Nodes interact only through the network. The minimum latency between
 //     nodes in different clusters — the lookahead L — bounds how far one
 //     cluster's present can influence another's future: a message sent at
-//     cycle t arrives no earlier than t+L.
+//     cycle t arrives no earlier than t+L. Link contention
+//     (Config.Net.LinkBandwidth > 0) preserves the bound: injection-link
+//     state is per source node, resolved inside the sender's shard at send
+//     time — a cross-cluster send contends only at injection — and
+//     queuing/serialization only ever delay delivery (DESIGN.md §10).
 //   - Therefore, once every cluster has simulated through cycle E and
 //     exchanged cross-cluster messages, each cluster can simulate
 //     (E, E+L] independently: every message that can arrive in that window

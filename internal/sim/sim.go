@@ -63,6 +63,14 @@ type Result struct {
 	CleaningWBs, Prefetches       uint64
 	L2HitFills, RemoteFills       uint64
 	Mispredicts, Replays          uint64
+
+	// Net is the interconnect's link-contention telemetry (all-zero when
+	// Config.Net.LinkBandwidth is 0). Unlike RunnerStats it is part of
+	// Result because it is simulated machine state, deterministic across
+	// all three runners: link reservations are per-source-node, so every
+	// runner computes identical occupancy, and the per-shard counters
+	// merge order-independently (stats.NetStats).
+	Net stats.NetStats
 }
 
 // System is one assembled machine.
@@ -344,6 +352,13 @@ func (s *System) result(finished bool) Result {
 	r := Result{
 		Cycles:   s.now,
 		Finished: finished,
+	}
+	if s.net != nil {
+		r.Net = s.net.Contention
+	} else {
+		for _, sh := range s.shards { // ascending shard order; Merge is order-independent anyway
+			r.Net.Merge(&sh.Contention)
+		}
 	}
 	var specCycles, totalCycles uint64
 	for _, n := range s.nodes {

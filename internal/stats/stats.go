@@ -180,6 +180,57 @@ func (r *RunnerStats) Merge(o *RunnerStats) {
 	r.Resolutions += o.Resolutions
 }
 
+// NetStats is the interconnect's link-contention accounting (DESIGN.md
+// §10). All counters are zero when the contention model is off
+// (network.Config.LinkBandwidth == 0): a latency-only run carries no
+// contention telemetry, which keeps bandwidth-0 Results byte-identical to
+// the pre-contention simulator.
+//
+// The counters are deterministic across all three runners: every injection
+// link belongs to exactly one source node, each node's sends happen at
+// identical cycles in identical order under every runner (the bit-exactness
+// contract), and the per-shard instances merge with order-independent
+// operations (sums and a max).
+type NetStats struct {
+	// Messages counts sends that traversed an injection link (self-sends
+	// bypass the network's links and are excluded).
+	Messages uint64 `json:",omitempty"`
+	// QueuedMessages is the subset of Messages that found their injection
+	// link busy and waited.
+	QueuedMessages uint64 `json:",omitempty"`
+	// QueueDelayCycles sums every message's queuing delay: cycles between
+	// the send and the start of its link transmission.
+	QueueDelayCycles uint64 `json:",omitempty"`
+	// LinkBusyCycles sums link-occupancy reservations (flits x
+	// cycles-per-flit over all link-traversing messages).
+	LinkBusyCycles uint64 `json:",omitempty"`
+	// MaxQueueDepth is the largest number of messages simultaneously
+	// holding or waiting on any single injection link.
+	MaxQueueDepth uint64 `json:",omitempty"`
+}
+
+// Merge folds o into n: counters sum, MaxQueueDepth takes the maximum.
+// Both operations are order-independent, so merging per-shard instances in
+// any order yields the serial network's aggregate exactly.
+func (n *NetStats) Merge(o *NetStats) {
+	n.Messages += o.Messages
+	n.QueuedMessages += o.QueuedMessages
+	n.QueueDelayCycles += o.QueueDelayCycles
+	n.LinkBusyCycles += o.LinkBusyCycles
+	if o.MaxQueueDepth > n.MaxQueueDepth {
+		n.MaxQueueDepth = o.MaxQueueDepth
+	}
+}
+
+// QueueDelayPerMsg returns the mean queuing delay in cycles per
+// link-traversing message (0 when the contention model was off).
+func (n NetStats) QueueDelayPerMsg() float64 {
+	if n.Messages == 0 {
+		return 0
+	}
+	return float64(n.QueueDelayCycles) / float64(n.Messages)
+}
+
 // Summary is the mean and 95% confidence half-width of a set of samples
 // (one per seed), the stand-in for SimFlex sampling error bars.
 type Summary struct {

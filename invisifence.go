@@ -141,6 +141,12 @@ type MachineConfig struct {
 	HopLatency    uint64 // cycles per torus hop (25 ns = 100)
 	LocalLatency  uint64
 	Jitter        uint64 // interleaving exploration (0 in experiments)
+	// LinkBandwidth enables the per-link contention model: cycles per flit
+	// on each torus injection link (messages queue at busy links, DESIGN.md
+	// §10). 0 — the calibrated Figure 6 default — keeps the latency-only
+	// torus, bit-exact with the pre-contention simulator; the omitempty tag
+	// keeps bandwidth-0 cache keys and golden results byte-stable.
+	LinkBandwidth uint64 `json:"LinkBandwidth,omitempty"`
 
 	L1Bytes, L1Ways int
 	L1Latency       uint64
@@ -225,6 +231,12 @@ type Result struct {
 	Speculations, Commits, Aborts uint64
 	CoVDeferrals, CoVSaves        uint64
 	CleaningWBs                   uint64
+	// NetStats is the link-contention telemetry (queuing delay, link busy
+	// cycles, queue depths), embedded so its fields — every one zero, and
+	// omitted from the JSON encoding, unless Machine.LinkBandwidth was
+	// non-zero — marshal flat, keeping bandwidth-0 golden results and
+	// cached entries byte-stable.
+	stats.NetStats
 	// Validated reports that the workload's end-to-end data invariant held.
 	Validated bool
 }
@@ -253,6 +265,7 @@ func Run(cfg Config) (Result, error) {
 			Width: cfg.Machine.Width, Height: cfg.Machine.Height,
 			HopLatency: cfg.Machine.HopLatency, LocalLatency: cfg.Machine.LocalLatency,
 			Jitter: cfg.Machine.Jitter, Seed: cfg.Seed,
+			LinkBandwidth: cfg.Machine.LinkBandwidth,
 		},
 		Node: node.Config{
 			Model:              cfg.Variant.Model,
@@ -298,6 +311,7 @@ func Run(cfg Config) (Result, error) {
 		CoVDeferrals: r.CoVDeferrals,
 		CoVSaves:     r.CoVSaves,
 		CleaningWBs:  r.CleaningWBs,
+		NetStats:     r.Net,
 		Validated:    true,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package invisifence
 
 import (
+	"encoding/json"
 	"reflect"
 	"sort"
 	"strings"
@@ -99,5 +100,72 @@ func TestRunLitmusDeterministicOutcomes(t *testing.T) {
 		return false
 	}) {
 		t.Fatalf("outcomes not canonically sorted: %+v", a.Outcomes)
+	}
+}
+
+// TestLinkBandwidthZeroEncodingStable pins the bandwidth-0 invisibility
+// guarantee at the serialization layer: a config that never mentions the
+// contention knob and a Result from a latency-only run must encode without
+// any contention key, so golden results, cached entries, and cache keys
+// from before the model existed stay byte-identical (DESIGN.md §10).
+func TestLinkBandwidthZeroEncodingStable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cfgJSON), "LinkBandwidth") {
+		t.Errorf("bandwidth-0 Config encodes the contention knob (cache keys drift): %s", cfgJSON)
+	}
+	key0 := resultKey(cfg)
+	cfg.Machine.LinkBandwidth = 0 // explicit zero: same cell
+	if k := resultKey(cfg); k != key0 {
+		t.Errorf("explicit LinkBandwidth 0 changed the cache key: %s vs %s", k, key0)
+	}
+	cfg.Machine.LinkBandwidth = 4
+	if k := resultKey(cfg); k == key0 {
+		t.Error("finite LinkBandwidth did not change the cache key: congested cells would collide with latency-only ones")
+	}
+
+	resJSON, err := json.Marshal(Result{Cycles: 1, Validated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Messages", "QueueDelayCycles", "LinkBusyCycles", "MaxQueueDepth"} {
+		if strings.Contains(string(resJSON), field) {
+			t.Errorf("zero-contention Result encodes %q (golden bytes drift): %s", field, resJSON)
+		}
+	}
+}
+
+// TestSweepLinkBandwidthAxis pins the contention axis: link_bandwidths
+// expands into per-cell MachineConfig.LinkBandwidth values (distinct cache
+// cells), and the default axis keeps the historical single-cell grid.
+func TestSweepLinkBandwidthAxis(t *testing.T) {
+	spec := SweepSpec{
+		Workloads:      []string{"apache"},
+		Variants:       []string{"sc"},
+		LinkBandwidths: []uint64{0, 4},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2 (linkbw axis)", len(jobs))
+	}
+	if jobs[0].Machine.LinkBandwidth != 0 || jobs[1].Machine.LinkBandwidth != 4 {
+		t.Errorf("axis not applied: bandwidths %d, %d", jobs[0].Machine.LinkBandwidth, jobs[1].Machine.LinkBandwidth)
+	}
+	if resultKey(jobs[0]) == resultKey(jobs[1]) {
+		t.Error("linkbw axis cells share a cache key")
+	}
+
+	plain, err := SweepSpec{Workloads: []string{"apache"}, Variants: []string{"sc"}}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 || !reflect.DeepEqual(plain[0], jobs[0]) {
+		t.Error("default link-bandwidth axis changed the historical grid")
 	}
 }

@@ -86,6 +86,10 @@ type SweepSpec struct {
 	// Nodes lists total node counts, each factored into the squarest
 	// torus by TorusFor (default: the machine's configured W*H).
 	Nodes []int `json:"nodes,omitempty"`
+	// LinkBandwidths lists torus link bandwidths in cycles per flit
+	// (MachineConfig.LinkBandwidth); 0 keeps the latency-only torus, so
+	// contention is a sweepable axis (default: [0]).
+	LinkBandwidths []uint64 `json:"link_bandwidths,omitempty"`
 	// Seeds lists run seeds (default: [1]).
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Scale multiplies workload size (default 1.0).
@@ -118,6 +122,9 @@ func (s SweepSpec) normalized() SweepSpec {
 	if len(s.Nodes) == 0 {
 		s.Nodes = []int{s.Machine.Width * s.Machine.Height}
 	}
+	if len(s.LinkBandwidths) == 0 {
+		s.LinkBandwidths = []uint64{s.Machine.LinkBandwidth}
+	}
 	if len(s.Seeds) == 0 {
 		s.Seeds = []int64{1}
 	}
@@ -143,6 +150,7 @@ func (s SweepSpec) grid() sweep.Grid {
 		{Name: "sb", Values: anys(len(s.SBDepths), func(i int) any { return s.SBDepths[i] })},
 		{Name: "ckpt", Values: anys(len(s.Checkpoints), func(i int) any { return s.Checkpoints[i] })},
 		{Name: "nodes", Values: anys(len(s.Nodes), func(i int) any { return s.Nodes[i] })},
+		{Name: "linkbw", Values: anys(len(s.LinkBandwidths), func(i int) any { return s.LinkBandwidths[i] })},
 		{Name: "seed", Values: anys(len(s.Seeds), func(i int) any { return s.Seeds[i] })},
 	}}
 }
@@ -163,7 +171,8 @@ func (s SweepSpec) Jobs() ([]Config, error) {
 		sbDepth := p.Values[2].(int)
 		ckpts := p.Values[3].(int)
 		nodes := p.Values[4].(int)
-		seed := p.Values[5].(int64)
+		linkbw := p.Values[5].(uint64)
+		seed := p.Values[6].(int64)
 
 		v, err := VariantByName(vname)
 		if err != nil {
@@ -186,6 +195,7 @@ func (s SweepSpec) Jobs() ([]Config, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.LinkBandwidth = linkbw
 		cfg := Config{
 			Machine:   m,
 			Variant:   v,
@@ -300,8 +310,8 @@ func Sweep(spec SweepSpec, opts SweepOptions) (*SweepOutcome, error) {
 func (o *SweepOutcome) Table() *Table {
 	t := &Table{
 		Title: "Sweep results",
-		Header: []string{"workload", "variant", "nodes", "sb", "ckpts", "seed",
-			"cycles", "retired", "IPC/core", "spec%", "aborts"},
+		Header: []string{"workload", "variant", "nodes", "sb", "ckpts", "linkbw", "seed",
+			"cycles", "retired", "IPC/core", "spec%", "aborts", "qdelay/msg"},
 	}
 	for _, r := range o.Runs {
 		cfg := r.Config
@@ -312,17 +322,25 @@ func (o *SweepOutcome) Table() *Table {
 		if r.Result.Cycles > 0 && nodes > 0 {
 			ipcCell = fmt.Sprintf("%.3f", float64(r.Result.Retired)/float64(r.Result.Cycles)/float64(nodes))
 		}
+		// A latency-only cell (LinkBandwidth 0) has no queuing delay to
+		// report; render "-" rather than a misleading 0.0.
+		qdelayCell := "-"
+		if cfg.Machine.LinkBandwidth > 0 {
+			qdelayCell = fmt.Sprintf("%.1f", r.Result.QueueDelayPerMsg())
+		}
 		t.AddRow(
 			cfg.Workload, cfg.Variant.Name,
 			fmt.Sprintf("%d", nodes),
 			fmt.Sprintf("%d", cfg.Variant.SBCapacity),
 			fmt.Sprintf("%d", cfg.Variant.Engine.MaxCheckpoints),
+			fmt.Sprintf("%d", cfg.Machine.LinkBandwidth),
 			fmt.Sprintf("%d", cfg.Seed),
 			fmt.Sprintf("%d", r.Result.Cycles),
 			fmt.Sprintf("%d", r.Result.Retired),
 			ipcCell,
 			pct(r.Result.SpecFraction),
 			fmt.Sprintf("%d", r.Result.Aborts),
+			qdelayCell,
 		)
 	}
 	return t
