@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	test := flag.String("test", "", "single test (SB, MP, LB, IRIW, CoRR, RMW); empty = all")
+	test := flag.String("test", "", "single test (SB, MP, LB, IRIW, SB+F, WRC, CoRR, RMW, ISA2, 2+2W, R, S); empty = all")
 	config := flag.String("config", "", "single implementation; empty = all")
 	seeds := flag.Int("seeds", 20, "interleaving seeds per (test, config)")
 	flag.Parse()

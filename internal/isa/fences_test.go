@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mpReader builds the MP-reader shape: two loads, two result stores.
+func mpReader() *Program {
+	b := NewBuilder("reader")
+	b.MovI(R4, 0x1000)
+	b.MovI(R5, 0x2000)
+	b.Ld(R7, R4, 64)
+	b.Ld(R8, R4, 0)
+	b.St(R5, 0, R7)
+	b.St(R5, 64, R8)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestFenceSites(t *testing.T) {
+	p := mpReader()
+	// Memory ops at PCs 2,3,4,5; the first (PC 2) has no earlier access.
+	want := []int{3, 4, 5}
+	if got := FenceSites(p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FenceSites = %v, want %v", got, want)
+	}
+}
+
+func TestFenceSitesSkipExistingFence(t *testing.T) {
+	b := NewBuilder("fenced")
+	b.MovI(R4, 0x1000)
+	b.St(R4, 0, R6)
+	b.Fence()
+	b.Ld(R7, R4, 64)
+	b.St(R4, 128, R7)
+	b.Halt()
+	p := b.MustBuild()
+	// PC 3 (the Ld) is preceded by a Fence: redundant, excluded. PC 4 stays.
+	want := []int{4}
+	if got := FenceSites(p); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FenceSites = %v, want %v", got, want)
+	}
+}
+
+func TestFenceSitesStraightLineNoMem(t *testing.T) {
+	b := NewBuilder("pure")
+	b.MovI(R1, 1)
+	b.Add(R2, R1, R1)
+	b.Halt()
+	if got := FenceSites(b.MustBuild()); got != nil {
+		t.Fatalf("FenceSites = %v, want none", got)
+	}
+}
+
+func TestInsertFencesStraightLine(t *testing.T) {
+	p := mpReader()
+	np, err := InsertFences(p, []int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Len() != p.Len()+2 {
+		t.Fatalf("len = %d, want %d", np.Len(), p.Len()+2)
+	}
+	// Fences land before the original PC-3 and PC-5 instructions.
+	if np.Instrs[3].Op != Fence || np.Instrs[6].Op != Fence {
+		t.Fatalf("fences misplaced: %s", np.Disassemble())
+	}
+	if np.Instrs[4].Op != Ld || np.Instrs[7].Op != St {
+		t.Fatalf("original instructions shifted wrong: %s", np.Disassemble())
+	}
+	// Original program untouched.
+	if p.Instrs[3].Op != Ld {
+		t.Fatal("InsertFences mutated the input program")
+	}
+}
+
+func TestInsertFencesDedupes(t *testing.T) {
+	p := mpReader()
+	a, err := InsertFences(p, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InsertFences(p, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Instrs, b.Instrs) {
+		t.Fatalf("duplicate PCs not collapsed:\n%s\nvs\n%s", a.Disassemble(), b.Disassemble())
+	}
+}
+
+func TestInsertBeforeRemapsBranchesAndLabels(t *testing.T) {
+	b := NewBuilder("spin")
+	b.MovI(R4, 0x1000)
+	b.Label("spin") // PC 1
+	b.Ld(R7, R4, 0)
+	b.Bne(R7, R0, "spin") // back-edge to PC 1
+	b.Ld(R8, R4, 64)
+	b.Halt()
+	p := b.MustBuild()
+
+	np, err := InsertFences(p, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: movi, FENCE, ld(spin body), bne, FENCE, ld, halt.
+	if np.Instrs[1].Op != Fence || np.Instrs[4].Op != Fence {
+		t.Fatalf("fences misplaced:\n%s", np.Disassemble())
+	}
+	// The back-edge must land on the fence inserted at the target point,
+	// so the fence executes on every loop iteration.
+	bne := np.Instrs[3]
+	if bne.Op != Bne || bne.Target != 1 {
+		t.Fatalf("branch target = %d, want 1:\n%s", bne.Target, np.Disassemble())
+	}
+	if np.Labels["spin"] != 1 {
+		t.Fatalf("label spin = %d, want 1", np.Labels["spin"])
+	}
+}
+
+func TestInsertBeforeForwardBranch(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.MovI(R4, 0x1000)
+	b.Beq(R0, R0, "done") // PC 1, forward to PC 4
+	b.St(R4, 0, R6)
+	b.Ld(R7, R4, 64)
+	b.Label("done") // PC 4
+	b.Halt()
+	p := b.MustBuild()
+
+	np, err := InsertFences(p, []int{3}) // fence before the Ld only
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target 4 shifts by the one insertion before it.
+	if np.Instrs[1].Target != 5 {
+		t.Fatalf("forward target = %d, want 5:\n%s", np.Instrs[1].Target, np.Disassemble())
+	}
+	if np.Instrs[5].Op != Halt {
+		t.Fatalf("halt misplaced:\n%s", np.Disassemble())
+	}
+}
+
+func TestInsertBeforeRejectsBadInput(t *testing.T) {
+	p := mpReader()
+	if _, err := InsertBefore(p, []Insertion{{PC: p.Len() + 1, In: Instr{Op: Fence}}}); err == nil {
+		t.Fatal("out-of-range PC accepted")
+	}
+	if _, err := InsertBefore(p, []Insertion{{PC: 0, In: Instr{Op: Br}}}); err == nil {
+		t.Fatal("branch insertion accepted")
+	}
+}
+
+func TestInsertFencesEmptyIsIdentity(t *testing.T) {
+	p := mpReader()
+	np, err := InsertFences(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(np.Instrs, p.Instrs) {
+		t.Fatal("empty insertion changed the program")
+	}
+}

@@ -7,8 +7,8 @@
 // that post-retirement speculation is *invisible* — outcomes forbidden by
 // the target model must never appear, no matter how deep the speculation,
 // how many rollbacks occur, or how requests interleave. The runner explores
-// interleavings by sweeping seeds over network jitter and per-thread start
-// skew.
+// interleavings by sweeping seeds over network jitter, per-thread start
+// skew, and shared-variable placement (rotating directory home nodes).
 package litmus
 
 import (
@@ -35,6 +35,54 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("[%d %d %d %d]", o[0], o[1], o[2], o[3])
 }
 
+// Any, in an OutcomeSpec slot, matches every observed value.
+const Any = int64(-1)
+
+// OutcomeSpec is a serializable outcome predicate: one expected value per
+// outcome slot, with Any matching everything. It is the target language of
+// the fence-insertion search (internal/fencesearch) and of the corpus
+// expectation tables under testdata/litmus/ — unlike the Forbidden
+// closures, a spec can be hashed into a cache key and printed in a report.
+type OutcomeSpec []int64
+
+// Matches reports whether the observed outcome satisfies the spec. Slots
+// beyond the spec's length match implicitly.
+func (s OutcomeSpec) Matches(o Outcome) bool {
+	for i, v := range s {
+		if v != Any && o[i] != memtypes.Word(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec with * for wildcard slots, e.g. "[1 0 * *]".
+func (s OutcomeSpec) String() string {
+	out := "["
+	for i, v := range s {
+		if i > 0 {
+			out += " "
+		}
+		if v == Any {
+			out += "*"
+		} else {
+			out += fmt.Sprintf("%d", v)
+		}
+	}
+	return out + "]"
+}
+
+// CountMatches sums the histogram weight of outcomes satisfying the spec.
+func CountMatches(hist map[Outcome]int, s OutcomeSpec) int {
+	n := 0
+	for o, c := range hist {
+		if s.Matches(o) {
+			n += c
+		}
+	}
+	return n
+}
+
 // Test is one litmus test: thread bodies plus the predicate for outcomes
 // the target model forbids.
 type Test struct {
@@ -44,8 +92,12 @@ type Test struct {
 	// shared variable area; results is the base register for the outcome
 	// area (thread t writes its observations to fixed slots).
 	Build func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy)
-	// Slots is how many outcome words the test defines.
+	// Slots is how many register-result outcome words the test defines.
 	Slots int
+	// FinalVars lists shared-variable indices whose post-run memory values
+	// are appended as outcome slots after the register slots (for tests
+	// whose condition is on final state, e.g. 2+2W).
+	FinalVars []int
 	// Forbidden reports whether the outcome violates the model. fenced
 	// says the program was built with the RMO fence policy (under SC/TSO
 	// programs are unfenced but the model itself forbids the reordering).
@@ -53,7 +105,15 @@ type Test struct {
 	// Interesting reports the relaxed outcome whose appearance we track
 	// (e.g., both-zero under TSO store buffering).
 	Interesting func(o Outcome) bool
+	// Target is the canonical SC-forbidden outcome, as a serializable
+	// spec: the default query of the fence-insertion search. Nil when the
+	// violation is not expressible as a single spec (RMW atomicity).
+	Target OutcomeSpec
 }
+
+// TotalSlots is the full outcome width: register slots plus final-state
+// slots.
+func (t Test) TotalSlots() int { return t.Slots + len(t.FinalVars) }
 
 const (
 	varsAddr    = memtypes.Addr(0x10000)
@@ -92,6 +152,7 @@ var Tests = []Test{
 			return o[0] == 0 && o[1] == 0
 		},
 		Interesting: func(o Outcome) bool { return o[0] == 0 && o[1] == 0 },
+		Target:      OutcomeSpec{0, 0},
 	},
 	{
 		// Message passing: T0 writes data then flag; T1 reads flag then
@@ -126,6 +187,7 @@ var Tests = []Test{
 			return o[0] == 1 && o[1] == 0
 		},
 		Interesting: func(o Outcome) bool { return o[0] == 1 && o[1] == 0 },
+		Target:      OutcomeSpec{1, 0},
 	},
 	{
 		// Load buffering: r0 == r1 == 1 requires stores to become visible
@@ -144,6 +206,7 @@ var Tests = []Test{
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
 			return o[0] == 1 && o[1] == 1
 		},
+		Target: OutcomeSpec{1, 1},
 	},
 	{
 		// IRIW: two writers, two readers observing opposite orders.
@@ -185,6 +248,7 @@ var Tests = []Test{
 			}
 			return o[0] == 1 && o[1] == 0 && o[2] == 1 && o[3] == 0
 		},
+		Target: OutcomeSpec{1, 0, 1, 0},
 	},
 	{
 		// SB+F: Dekker with explicit full fences between each thread's
@@ -206,6 +270,7 @@ var Tests = []Test{
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
 			return o[0] == 0 && o[1] == 0
 		},
+		Target: OutcomeSpec{0, 0},
 	},
 	{
 		// WRC: write-to-read causality. T1 observes T0's write and then
@@ -243,6 +308,7 @@ var Tests = []Test{
 			}
 			return o[0] == 1 && o[1] == 1 && o[2] == 0
 		},
+		Target: OutcomeSpec{1, 1, 0},
 	},
 	{
 		// CoRR: per-location coherence. A reader must never observe a
@@ -265,6 +331,7 @@ var Tests = []Test{
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
 			return o[0] == 1 && o[1] == 0
 		},
+		Target: OutcomeSpec{1, 0},
 	},
 	{
 		// Atomicity: both threads fetch-add the same word once; the sum
@@ -282,6 +349,155 @@ var Tests = []Test{
 			// Old values observed must be {0, 1} in some order.
 			return !((o[0] == 0 && o[1] == 1) || (o[0] == 1 && o[1] == 0))
 		},
+	},
+	{
+		// ISA2: transitive message passing through an intermediary. T0
+		// publishes x then y; T1 forwards its observation of y into z; T2
+		// observing z must also see x. Forbidden under SC and TSO (needs
+		// W->W, R->W, or R->R reordering), under RMO only with fences.
+		Name:    "ISA2",
+		Threads: 3,
+		Slots:   3,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y, z := varOff(0), varOff(1), varOff(2)
+			switch t {
+			case 0:
+				b.MovI(isa.R6, 1)
+				b.St(vars, x, isa.R6)
+				if fp.Release {
+					b.Fence()
+				}
+				b.St(vars, y, isa.R6)
+			case 1:
+				b.Ld(isa.R7, vars, y)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.St(vars, z, isa.R7) // forwards the observed value
+				b.St(results, resOff(0), isa.R7)
+			case 2:
+				b.Ld(isa.R8, vars, z)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.Ld(isa.R9, vars, x)
+				b.St(results, resOff(1), isa.R8)
+				b.St(results, resOff(2), isa.R9)
+			}
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 1 && o[2] == 0
+		},
+		Target: OutcomeSpec{1, 1, 0},
+	},
+	{
+		// 2+2W: write-order cycle on two locations. Both finals equal to
+		// the *first* writes (x == 2 and y == 2) needs each thread's
+		// stores to drain out of order — forbidden under SC and TSO (FIFO
+		// buffers), under RMO only with a fence between the stores.
+		Name:      "2+2W",
+		Threads:   2,
+		Slots:     0,
+		FinalVars: []int{0, 1}, // final x, final y
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y := varOff(0), varOff(1)
+			first, second := x, y
+			if t == 1 {
+				first, second = y, x
+			}
+			b.MovI(isa.R6, 2)
+			b.MovI(isa.R7, 1)
+			b.St(vars, first, isa.R6)
+			if fp.Release {
+				b.Fence()
+			}
+			b.St(vars, second, isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 2 && o[1] == 2
+		},
+		Interesting: func(o Outcome) bool { return o[0] == 2 && o[1] == 2 },
+		Target:      OutcomeSpec{2, 2},
+	},
+	{
+		// R: store-order vs. load. T0 publishes x then y=1; T1 writes y=2
+		// then reads x. Final y == 2 with r == 0 needs T1's read to bypass
+		// its own pending store — allowed under TSO and RMO (like SB),
+		// forbidden under SC and under RMO with a full fence on T1.
+		Name:      "R",
+		Threads:   2,
+		Slots:     1,
+		FinalVars: []int{1}, // final y
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y := varOff(0), varOff(1)
+			if t == 0 {
+				b.MovI(isa.R6, 1)
+				b.St(vars, x, isa.R6)
+				if fp.Release {
+					b.Fence()
+				}
+				b.St(vars, y, isa.R6)
+				return
+			}
+			b.MovI(isa.R6, 2)
+			b.St(vars, y, isa.R6)
+			if fp.Release {
+				b.Fence()
+			}
+			b.Ld(isa.R7, vars, x)
+			b.St(results, resOff(0), isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m != consistency.SC && !(m == consistency.RMO && fenced) {
+				return false
+			}
+			return o[0] == 0 && o[1] == 2
+		},
+		Interesting: func(o Outcome) bool { return o[0] == 0 && o[1] == 2 },
+		Target:      OutcomeSpec{0, 2},
+	},
+	{
+		// S: store-order vs. dependent store. T0 writes x=2 then y=1; T1
+		// reading y==1 then writing x=1 must leave x == 1 (its write is
+		// coherence-after T0's). r == 1 with final x == 2 is forbidden
+		// under SC and TSO, under RMO only with fences.
+		Name:      "S",
+		Threads:   2,
+		Slots:     1,
+		FinalVars: []int{0}, // final x
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y := varOff(0), varOff(1)
+			if t == 0 {
+				b.MovI(isa.R6, 2)
+				b.MovI(isa.R7, 1)
+				b.St(vars, x, isa.R6)
+				if fp.Release {
+					b.Fence()
+				}
+				b.St(vars, y, isa.R7)
+				return
+			}
+			b.Ld(isa.R7, vars, y)
+			if fp.Acquire {
+				b.Fence()
+			}
+			b.MovI(isa.R6, 1)
+			b.St(vars, x, isa.R6)
+			b.St(results, resOff(0), isa.R7)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 2
+		},
+		Target: OutcomeSpec{1, 2},
 	},
 }
 
@@ -323,16 +539,25 @@ type Result struct {
 }
 
 // Run sweeps a test under a configuration across seeds, each seed with
-// different network jitter and thread skew.
+// different network jitter and thread skew. Programs are specialized per
+// model: under RMO the builders emit their fences (fenced = true for the
+// Forbidden predicate).
 func Run(t Test, spec ConfigSpec, seeds int) Result {
-	res := Result{Test: t.Name, Config: spec.Name, Outcomes: make(map[Outcome]int)}
-	fenced := spec.Model == consistency.RMO
 	fp := isa.NoFences
-	if fenced {
+	if spec.Model == consistency.RMO {
 		fp = isa.RMOFences
 	}
+	return RunWithPolicy(t, spec, fp, seeds)
+}
+
+// RunWithPolicy is Run with an explicit fence policy, letting callers probe
+// the *unfenced* behavior of a weak model (the corpus tables pin both).
+func RunWithPolicy(t Test, spec ConfigSpec, fp isa.FencePolicy, seeds int) Result {
+	fenced := fp.Acquire || fp.Release
+	h := HarnessFor(t, fp)
+	res := Result{Test: t.Name, Config: spec.Name, Outcomes: make(map[Outcome]int)}
 	for seed := 0; seed < seeds; seed++ {
-		o := runOnce(t, spec, fp, int64(seed))
+		o := h.RunSeed(spec, int64(seed))
 		res.Runs++
 		res.Outcomes[o]++
 		if t.Forbidden(o, spec.Model, fenced) {
@@ -345,29 +570,110 @@ func Run(t Test, spec ConfigSpec, seeds int) Result {
 	return res
 }
 
-func runOnce(t Test, spec ConfigSpec, fp isa.FencePolicy, seed int64) Outcome {
-	nodes := 4
-	progs := make([]*isa.Program, nodes)
-	for i := 0; i < nodes; i++ {
+// BodyPrograms assembles the per-thread body programs of a test under a
+// fence policy, without the per-seed harness prefix (start skew and the
+// R4/R5 base-register setup): the stable instruction streams on which
+// fence-insertion sites are enumerated.
+func BodyPrograms(t Test, fp isa.FencePolicy) []*isa.Program {
+	progs := make([]*isa.Program, t.Threads)
+	for i := range progs {
 		b := isa.NewBuilder(fmt.Sprintf("%s-t%d", t.Name, i))
-		if i < t.Threads {
-			// Seed-dependent start skew explores interleavings.
-			skew := (seed*7 + int64(i)*13) % 40
-			if skew > 0 {
-				b.Delay(skew)
-			}
-			b.MovI(isa.R4, int64(varsAddr))
-			b.MovI(isa.R5, int64(resultsAddr))
-			t.Build(b, i, isa.R4, isa.R5, fp)
-		}
+		t.Build(b, i, isa.R4, isa.R5, fp)
 		b.Halt()
 		progs[i] = b.MustBuild()
+	}
+	return progs
+}
+
+// Harness runs prebuilt thread programs under the litmus machine
+// configuration and extracts outcomes. It is the program-level interface
+// the fence-insertion search evaluates candidates through: Bodies may be
+// any straight-line-or-looping programs using the vars/results protocol
+// (R4 = shared-variable base, R5 = result base), typically a Test's
+// BodyPrograms with fences inserted.
+type Harness struct {
+	Name   string
+	Slots  int   // register-result outcome slots read from the result area
+	Finals []int // shared-var indices appended as outcome slots
+	Bodies []*isa.Program
+	// Jitter overrides the per-message network jitter bound (0 = the
+	// suite default). The fence-insertion oracle runs with a wider bound
+	// than the plain suite: fill-latency differentials up to Jitter are
+	// what expose load-load and store-store reorderings, and a too-narrow
+	// sweep would certify fence sets that the model does not justify.
+	Jitter uint64
+}
+
+// HarnessFor wraps a test's body programs in a harness.
+func HarnessFor(t Test, fp isa.FencePolicy) Harness {
+	return Harness{Name: t.Name, Slots: t.Slots, Finals: t.FinalVars, Bodies: BodyPrograms(t, fp)}
+}
+
+// TotalSlots is the full outcome width.
+func (h Harness) TotalSlots() int { return h.Slots + len(h.Finals) }
+
+// Sweep runs the harness across seeds and histograms the outcomes.
+func (h Harness) Sweep(spec ConfigSpec, seeds int) map[Outcome]int {
+	hist := make(map[Outcome]int)
+	for seed := 0; seed < seeds; seed++ {
+		hist[h.RunSeed(spec, int64(seed))]++
+	}
+	return hist
+}
+
+// varsBase rotates the shared-variable area by whole blocks across seeds.
+// Rotation moves each variable's directory home node around the 2x2 torus,
+// so the drain/fill races that weak outcomes depend on (which store gains
+// ownership first, which load's fill arrives late) are actually explored:
+// with a fixed placement the home distances pin most races and the sweep
+// never exhibits store-store reordering, which would blind the
+// fence-insertion oracle.
+func varsBase(seed int64) memtypes.Addr {
+	return varsAddr + memtypes.Addr((seed%4)*varStride)
+}
+
+// RunSeed runs one seed: each thread gets a seed-dependent start-skew delay
+// plus the base-register prefix (R4 = rotated shared-variable base, R5 =
+// result base), the simulation runs to completion, and the outcome is read
+// back from the result area plus any final-state slots.
+func (h Harness) RunSeed(spec ConfigSpec, seed int64) Outcome {
+	nodes := 4
+	if len(h.Bodies) > nodes {
+		panic(fmt.Sprintf("litmus: %s has %d threads, max %d", h.Name, len(h.Bodies), nodes))
+	}
+	vbase := varsBase(seed)
+	progs := make([]*isa.Program, nodes)
+	for i := 0; i < nodes; i++ {
+		if i >= len(h.Bodies) {
+			b := isa.NewBuilder(fmt.Sprintf("%s-t%d", h.Name, i))
+			b.Halt()
+			progs[i] = b.MustBuild()
+			continue
+		}
+		// Seed-dependent start skew explores interleavings.
+		prefix := make([]isa.Insertion, 0, 3)
+		if skew := (seed*7 + int64(i)*13) % 40; skew > 0 {
+			prefix = append(prefix, isa.Insertion{PC: 0, In: isa.Instr{Op: isa.Delay, Imm: skew}})
+		}
+		prefix = append(prefix,
+			isa.Insertion{PC: 0, In: isa.Instr{Op: isa.MovI, Rd: isa.R4, Imm: int64(vbase)}},
+			isa.Insertion{PC: 0, In: isa.Instr{Op: isa.MovI, Rd: isa.R5, Imm: int64(resultsAddr)}},
+		)
+		p, err := isa.InsertBefore(h.Bodies[i], prefix)
+		if err != nil {
+			panic(err)
+		}
+		progs[i] = p
+	}
+	jitter := h.Jitter
+	if jitter == 0 {
+		jitter = 8
 	}
 	cfg := sim.Config{
 		Net: network.Config{
 			Width: 2, Height: 2,
 			HopLatency: 12, LocalLatency: 1,
-			Jitter: 8, Seed: seed,
+			Jitter: jitter, Seed: seed,
 		},
 		Node: node.Config{
 			Model:              spec.Model,
@@ -388,11 +694,14 @@ func runOnce(t Test, spec ConfigSpec, fp isa.FencePolicy, seed int64) Outcome {
 	s := sim.New(cfg, progs, nil)
 	r := s.Run()
 	if !r.Finished {
-		panic(fmt.Sprintf("litmus %s/%s seed %d did not finish", t.Name, spec.Name, seed))
+		panic(fmt.Sprintf("litmus %s/%s seed %d did not finish", h.Name, spec.Name, seed))
 	}
 	var o Outcome
-	for i := 0; i < t.Slots; i++ {
+	for i := 0; i < h.Slots; i++ {
 		o[i] = s.ReadWord(resultsAddr + memtypes.Addr(resOff(i)))
+	}
+	for j, v := range h.Finals {
+		o[h.Slots+j] = s.ReadWord(vbase + memtypes.Addr(varOff(v)))
 	}
 	return o
 }

@@ -23,7 +23,8 @@ type LitmusResult struct {
 	Relaxed   int // runs showing the tracked relaxed outcome
 }
 
-// LitmusTests lists the available litmus tests (SB, MP, LB, IRIW, CoRR, RMW).
+// LitmusTests lists the available litmus tests (SB, MP, LB, IRIW, SB+F,
+// WRC, CoRR, RMW, ISA2, 2+2W, R, S).
 func LitmusTests() []string {
 	names := make([]string, len(litmus.Tests))
 	for i, t := range litmus.Tests {
