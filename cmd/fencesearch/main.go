@@ -37,6 +37,7 @@ func main() {
 	maxFences := flag.Int("max-fences", 0, "cap candidate set size; 0 = full lattice")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent candidate evaluations")
 	cacheDir := flag.String("cache", "", "evaluation cache directory; empty = in-memory only")
+	prune := flag.Bool("prune", false, "steer the walk with the static delay-set analysis (same report, fewer simulations)")
 	list := flag.Bool("list", false, "list searchable tests and implementations")
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func main() {
 		q.Configs = strings.Split(*configs, ",")
 	}
 
-	opts := fencesearch.Options{Seeds: *seeds, MaxFences: *maxFences, Workers: *workers}
+	opts := fencesearch.Options{Seeds: *seeds, MaxFences: *maxFences, Workers: *workers, Prune: *prune}
 	if *cacheDir != "" {
 		c, err := runcache.Open(*cacheDir)
 		if err != nil {

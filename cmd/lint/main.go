@@ -1,0 +1,63 @@
+// Command lint runs the repo's custom analyzers (tracegate, determinism)
+// over the given package patterns (default ./...) and exits nonzero on any
+// finding. It is the CI entry point for the invariants the analyzers encode;
+// see the package docs under internal/lint for what each one enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"invisifence/internal/lint/analysis"
+	"invisifence/internal/lint/determinism"
+	"invisifence/internal/lint/loader"
+	"invisifence/internal/lint/tracegate"
+)
+
+var analyzers = []*analysis.Analyzer{tracegate.Analyzer, determinism.Analyzer}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "lint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+			for _, d := range pass.Diagnostics() {
+				fmt.Println(d)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

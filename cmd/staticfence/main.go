@@ -1,0 +1,118 @@
+// Command staticfence runs the static fence-inference analyzer
+// (critical-cycle / delay-set analysis) over the litmus corpus, and
+// optionally cross-validates it against the dynamic simulator oracle.
+//
+// The report is fully deterministic (stdout); in -crossval mode the
+// dynamic search's cache/simulation traffic goes to stderr, so two runs of
+// the same query produce byte-identical stdout regardless of cache warmth.
+// A crossval run with soundness violations exits nonzero.
+//
+// Usage:
+//
+//	staticfence -test MP -model rmo          # one test, one model
+//	staticfence                              # full corpus x {sc,tso,rmo}
+//	staticfence -crossval                    # static vs dynamic, all configs
+//	staticfence -crossval -cache .litmus-cache
+//	staticfence -list                        # analyzable tests + models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"invisifence/internal/consistency"
+	"invisifence/internal/crossval"
+	"invisifence/internal/isa"
+	"invisifence/internal/litmus"
+	"invisifence/internal/runcache"
+	"invisifence/internal/staticfence"
+)
+
+func main() {
+	test := flag.String("test", "", "litmus test to analyze; empty = full corpus")
+	model := flag.String("model", "", "memory model (sc, tso, rmo); empty = all three")
+	doCrossval := flag.Bool("crossval", false, "cross-validate against the fencesearch simulator oracle (all implementations)")
+	seeds := flag.Int("seeds", 48, "crossval: interleaving seeds per dynamic evaluation")
+	workers := flag.Int("workers", runtime.NumCPU(), "crossval: concurrent evaluations")
+	cacheDir := flag.String("cache", "", "crossval: evaluation cache directory; empty = in-memory only")
+	list := flag.Bool("list", false, "list analyzable tests and models")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("tests:")
+		for _, t := range litmus.Tests {
+			fmt.Printf("  %-6s threads=%d\n", t.Name, t.Threads)
+		}
+		fmt.Println("models: sc tso rmo")
+		return
+	}
+
+	if *doCrossval {
+		opts := crossval.Options{Seeds: *seeds, Workers: *workers}
+		if *test != "" {
+			opts.Tests = strings.Split(*test, ",")
+		}
+		if *cacheDir != "" {
+			c, err := runcache.Open(*cacheDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			opts.Cache = c
+		}
+		rep, err := crossval.Run(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(rep.String())
+		if v := rep.Violations(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "staticfence: %d soundness violation(s)\n", len(v))
+			os.Exit(1)
+		}
+		return
+	}
+
+	models, err := parseModels(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, t := range litmus.Tests {
+		if *test != "" && t.Name != *test {
+			continue
+		}
+		bodies := litmus.BodyPrograms(t, isa.NoFences)
+		for _, m := range models {
+			r, err := staticfence.Analyze(t.Name, bodies, m, staticfence.LitmusLayout())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Print(r.Report())
+		}
+	}
+}
+
+func parseModels(s string) ([]consistency.Model, error) {
+	if s == "" {
+		return []consistency.Model{consistency.SC, consistency.TSO, consistency.RMO}, nil
+	}
+	var out []consistency.Model
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "sc":
+			out = append(out, consistency.SC)
+		case "tso":
+			out = append(out, consistency.TSO)
+		case "rmo":
+			out = append(out, consistency.RMO)
+		default:
+			return nil, fmt.Errorf("staticfence: unknown model %q (have sc, tso, rmo)", name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package crossval
+
+import (
+	"strings"
+	"testing"
+
+	"invisifence/internal/fencesearch"
+	"invisifence/internal/staticfence"
+)
+
+// TestCorpusSound is the acceptance gate: across the full litmus corpus and
+// every implementation, the static analyzer never misses a dynamically
+// required fence (zero soundness violations, every static set re-verified
+// by simulation inside Run), and the classification surfaces at least one
+// static-conservative cell — the paper's performance-transparency claim.
+func TestCorpusSound(t *testing.T) {
+	rep, err := Run(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		for _, c := range v {
+			t.Errorf("soundness violation: %s/%s: %s", c.Test, c.Config, c.Detail)
+		}
+	}
+	counts := rep.Counts()
+	if counts[ClassConservative] == 0 {
+		t.Error("no static-conservative cells: the dynamic oracle should beat the model somewhere (MP reader side)")
+	}
+	if counts[ClassMatch] == 0 {
+		t.Error("no matching cells")
+	}
+	// 12 tests x 10 configs, RMW skipped (no canonical target spec).
+	if len(rep.Cells) != 120 || counts[ClassSkipped] != 10 {
+		t.Errorf("cells=%d skipped=%d, want 120/10", len(rep.Cells), counts[ClassSkipped])
+	}
+
+	find := func(test, config string) Cell {
+		for _, c := range rep.Cells {
+			if c.Test == test && c.Config == config {
+				return c
+			}
+		}
+		t.Fatalf("no cell %s/%s", test, config)
+		return Cell{}
+	}
+
+	// The headline conservative cell: under RMO the delay-set analysis
+	// requires MP's reader-side fence (T1@1); the machine's load-queue
+	// snooping closes that window, so the dynamic oracle needs only the
+	// writer-side fence.
+	mp := find("MP", "rmo")
+	if mp.Class != ClassConservative {
+		t.Errorf("MP/rmo: class %s, want %s", mp.Class, ClassConservative)
+	}
+	wantStatic := [][]staticfence.Site{{{Thread: 0, PC: 2}, {Thread: 1, PC: 1}}}
+	wantDyn := [][]fencesearch.Site{{{Thread: 0, PC: 2}}}
+	if len(mp.StaticMinimal) != 1 || len(mp.StaticMinimal[0]) != 2 ||
+		mp.StaticMinimal[0][0] != wantStatic[0][0] || mp.StaticMinimal[0][1] != wantStatic[0][1] {
+		t.Errorf("MP/rmo static = %v, want %v", mp.StaticMinimal, wantStatic)
+	}
+	if len(mp.DynamicMinimal) != 1 || len(mp.DynamicMinimal[0]) != 1 ||
+		mp.DynamicMinimal[0][0] != wantDyn[0][0] {
+		t.Errorf("MP/rmo dynamic = %v, want %v", mp.DynamicMinimal, wantDyn)
+	}
+
+	// And an exact-match cell: SB under TSO needs both st->ld fences in
+	// both analyzers.
+	sb := find("SB", "tso")
+	if sb.Class != ClassMatch || len(sb.StaticMinimal) != 1 || len(sb.StaticMinimal[0]) != 2 {
+		t.Errorf("SB/tso: class %s static %v, want match with {T0@2,T1@2}", sb.Class, sb.StaticMinimal)
+	}
+
+	// The InvisiFence variants must classify identically to their base
+	// model statically (the speculation is invisible to the static side).
+	if c := find("MP", "invisi-rmo"); c.Class != ClassConservative {
+		t.Errorf("MP/invisi-rmo: class %s, want %s", c.Class, ClassConservative)
+	}
+}
+
+// TestReportDeterministic: the crossval table is byte-identical across runs
+// (the staticfence-smoke CI contract); restricted to two tests to keep the
+// second dynamic search cheap.
+func TestReportDeterministic(t *testing.T) {
+	opts := Options{Workers: 4, Tests: []string{"MP", "R"}}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("crossval report not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "static-conservative") {
+		t.Errorf("MP/R crossval should contain a conservative cell:\n%s", a.String())
+	}
+}

@@ -27,9 +27,11 @@ import (
 	"strings"
 	"sync"
 
+	"invisifence/internal/consistency"
 	"invisifence/internal/isa"
 	"invisifence/internal/litmus"
 	"invisifence/internal/runcache"
+	"invisifence/internal/staticfence"
 	"invisifence/internal/sweep"
 )
 
@@ -57,6 +59,11 @@ type Input struct {
 	Bodies []*isa.Program
 	Target litmus.OutcomeSpec
 	Jitter uint64 // harness jitter override (0 = suite default)
+	// Canonical marks Target as the test's canonical SC-forbidden outcome
+	// (set by Search). Static delay-set pruning is only sound for such
+	// targets: internal/staticfence proves "all executions are SC", which
+	// says nothing about outcomes SC itself allows.
+	Canonical bool
 }
 
 // Options configures a search.
@@ -70,6 +77,16 @@ type Options struct {
 	// Cache dedupes evaluations; nil uses a fresh in-memory cache (still
 	// exercised, so traffic stats are always meaningful).
 	Cache *runcache.Cache
+	// Prune seeds the lattice walk with the static delay-set analysis
+	// (internal/staticfence): statically-forbidden implementations skip
+	// their baseline sweep, candidate sites off every critical cycle are
+	// never combined, and candidates that provably cover the delay set are
+	// answered sufficient without simulating. Reports stay byte-identical
+	// to the unpruned walk (the equivalence is pinned by test over the
+	// corpus); only the traffic counters change. Ignored unless the input
+	// is a canonical corpus query the analyzer accepts (straight-line
+	// litmus-protocol bodies).
+	Prune bool
 }
 
 // ModelResult is the search outcome under one implementation.
@@ -85,7 +102,8 @@ type ModelResult struct {
 	// (thread, pc), in discovery order (by size, then lexicographic).
 	// Mutually incomparable by construction.
 	Minimal [][]Site
-	// Evals counts candidate evaluations for this config (incl. baseline).
+	// Evals counts candidate evaluations for this config (incl. baseline
+	// and, under Options.Prune, candidates answered statically).
 	Evals int
 }
 
@@ -105,11 +123,16 @@ type Result struct {
 	Models []ModelResult
 	// Evals / Simulated / CacheHits / Runs are traffic totals: candidate
 	// evaluations, evaluations that actually simulated, evaluations served
-	// from the cache, and individual simulator runs executed.
+	// from the cache, and individual simulator runs executed. Static counts
+	// evaluations answered by the delay-set certificate without touching
+	// the simulator or the cache (always 0 unless Pruned).
 	Evals     int
 	Simulated int
 	CacheHits int
 	Runs      int
+	Static    int
+	// Pruned reports that the static delay-set analysis steered this walk.
+	Pruned bool
 }
 
 // evalOutcome is the cached result of one candidate evaluation.
@@ -134,6 +157,7 @@ type searcher struct {
 	simulated int
 	cacheHits int
 	runs      int
+	static    int // delay-set-certified evaluations (never simulated)
 }
 
 // job is one candidate evaluation: a config index and a site-index subset.
@@ -179,6 +203,76 @@ func SearchInput(in Input, specs []litmus.ConfigSpec, opts Options) (*Result, er
 	return s.run()
 }
 
+// pruner is the optional static delay-set steering of one walk: per-config
+// analysis results (shared per model) plus the site-index filter.
+type pruner struct {
+	static  []*staticfence.Result // per spec index
+	allowed []bool                // per site index: cuts a critical-cycle po pair
+}
+
+// newPruner runs the static analysis when pruning is requested and sound
+// for this input; any analyzer refusal (branches, non-protocol addressing)
+// falls back to the unpruned walk.
+func (s *searcher) newPruner() *pruner {
+	if !s.opts.Prune || !s.in.Canonical {
+		return nil
+	}
+	byModel := map[consistency.Model]*staticfence.Result{}
+	p := &pruner{static: make([]*staticfence.Result, len(s.specs))}
+	for i, spec := range s.specs {
+		sr, ok := byModel[spec.Model]
+		if !ok {
+			var err error
+			sr, err = staticfence.Analyze(s.in.Name, s.in.Bodies, spec.Model, staticfence.LitmusLayout())
+			if err != nil {
+				return nil
+			}
+			byModel[spec.Model] = sr
+		}
+		p.static[i] = sr
+	}
+	// Critical cycles (hence WalkSites) are model-independent; any entry
+	// serves.
+	walk := map[Site]bool{}
+	for _, ws := range p.static[0].WalkSites() {
+		walk[Site(ws)] = true
+	}
+	p.allowed = make([]bool, len(s.sites))
+	for i, site := range s.sites {
+		p.allowed[i] = walk[site]
+	}
+	return p
+}
+
+// allows reports whether every site of the candidate cuts some critical
+// cycle.
+func (p *pruner) allows(comb []int) bool {
+	for _, idx := range comb {
+		if !p.allowed[idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// sufficient reports whether the candidate provably covers the config's
+// delay set (so the target cannot appear and simulation is unnecessary).
+func (p *pruner) sufficient(cfg int, sites []Site) bool {
+	set := make([]staticfence.Site, len(sites))
+	for i, s := range sites {
+		set[i] = staticfence.Site(s)
+	}
+	return p.static[cfg].Sufficient(set)
+}
+
+// entry is one lattice candidate of a level, in walk order; static entries
+// are answered by the delay-set certificate instead of the sweep pool.
+type entry struct {
+	cfg    int
+	comb   []int
+	static bool
+}
+
 func (s *searcher) run() (*Result, error) {
 	res := &Result{
 		Name:   s.in.Name,
@@ -190,23 +284,33 @@ func (s *searcher) run() (*Result, error) {
 	for _, site := range s.sites {
 		res.SiteText = append(res.SiteText, s.in.Bodies[site.Thread].Instrs[site.PC].String())
 	}
+	prune := s.newPruner()
+	res.Pruned = prune != nil
 
 	// Level 0: the unfenced baseline under every implementation.
-	base := make([]job, len(s.specs))
+	// Statically-forbidden configs need no sweep: soundness (pinned by
+	// internal/crossval over the corpus) guarantees zero matches.
+	var base []job
+	active := make([]bool, len(s.specs))
 	for i := range s.specs {
-		base[i] = job{cfg: i}
+		if prune != nil && prune.static[i].AlreadyForbidden() {
+			res.Models[i] = ModelResult{Config: s.specs[i].Name, AlreadyForbidden: true, Evals: 1}
+			s.static++
+			continue
+		}
+		base = append(base, job{cfg: i})
 	}
 	baseRes, err := s.evalBatch(base)
 	if err != nil {
 		return nil, err
 	}
-	active := make([]bool, len(s.specs))
 	for i, r := range baseRes {
-		res.Models[i] = ModelResult{Config: s.specs[i].Name, BaselineMatches: r.Matches, Evals: 1}
+		ci := base[i].cfg
+		res.Models[ci] = ModelResult{Config: s.specs[ci].Name, BaselineMatches: r.Matches, Evals: 1}
 		if r.Matches == 0 {
-			res.Models[i].AlreadyForbidden = true
+			res.Models[ci].AlreadyForbidden = true
 		} else {
-			active[i] = true
+			active[ci] = true
 		}
 	}
 
@@ -217,31 +321,48 @@ func (s *searcher) run() (*Result, error) {
 	// minimal[i] holds config i's found sets as site-index slices.
 	minimal := make([][][]int, len(s.specs))
 	for k := 1; k <= maxK; k++ {
-		var jobs []job
+		var entries []entry
 		for ci := range s.specs {
 			if !active[ci] {
 				continue
 			}
 			for _, comb := range combinations(len(s.sites), k) {
+				if prune != nil && !prune.allows(comb) {
+					continue // off every critical cycle: cannot matter
+				}
 				if containsAnySet(comb, minimal[ci]) {
 					continue // superset of a sufficient set: never minimal
 				}
-				jobs = append(jobs, job{cfg: ci, comb: comb})
+				entries = append(entries, entry{cfg: ci, comb: comb,
+					static: prune != nil && prune.sufficient(ci, s.sitesOf(comb))})
 			}
 		}
-		if len(jobs) == 0 {
+		if len(entries) == 0 {
 			break
+		}
+		var jobs []job
+		for _, e := range entries {
+			if !e.static {
+				jobs = append(jobs, job{cfg: e.cfg, comb: e.comb})
+			}
 		}
 		results, err := s.evalBatch(jobs)
 		if err != nil {
 			return nil, err
 		}
-		for i, r := range results {
-			j := jobs[i]
-			res.Models[j.cfg].Evals++
-			if r.Matches == 0 {
-				minimal[j.cfg] = append(minimal[j.cfg], j.comb)
-				res.Models[j.cfg].Minimal = append(res.Models[j.cfg].Minimal, s.sitesOf(j.comb))
+		ji := 0
+		for _, e := range entries {
+			matches := 0
+			if e.static {
+				s.static++
+			} else {
+				matches = results[ji].Matches
+				ji++
+			}
+			res.Models[e.cfg].Evals++
+			if matches == 0 {
+				minimal[e.cfg] = append(minimal[e.cfg], e.comb)
+				res.Models[e.cfg].Minimal = append(res.Models[e.cfg].Minimal, s.sitesOf(e.comb))
 			}
 		}
 	}
@@ -252,6 +373,7 @@ func (s *searcher) run() (*Result, error) {
 	res.Simulated = s.simulated
 	res.CacheHits = s.cacheHits
 	res.Runs = s.runs
+	res.Static = s.static
 	return res, nil
 }
 
@@ -267,6 +389,9 @@ func (s *searcher) sitesOf(comb []int) []Site {
 // evalBatch fans candidate evaluations out over the sweep pool; results
 // come back in job order regardless of worker count.
 func (s *searcher) evalBatch(jobs []job) ([]evalOutcome, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
 	workers := s.opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -405,14 +530,28 @@ func Search(q Query, opts Options) (*Result, error) {
 		return nil, err
 	}
 	in := Input{
-		Name:   tt.Name,
-		Slots:  tt.Slots,
-		Finals: tt.FinalVars,
-		Bodies: litmus.BodyPrograms(*tt, isa.NoFences),
-		Target: target,
-		Jitter: q.Jitter,
+		Name:      tt.Name,
+		Slots:     tt.Slots,
+		Finals:    tt.FinalVars,
+		Bodies:    litmus.BodyPrograms(*tt, isa.NoFences),
+		Target:    target,
+		Jitter:    q.Jitter,
+		Canonical: specEqual(target, tt.Target),
 	}
 	return SearchInput(in, specs, opts)
+}
+
+// specEqual compares outcome specs slot-for-slot.
+func specEqual(a, b litmus.OutcomeSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // resolveConfigs maps config names onto litmus specs, preserving order;
@@ -444,10 +583,11 @@ func resolveConfigs(names []string) ([]litmus.ConfigSpec, error) {
 }
 
 // Report renders the deterministic section of a result: the query, the
-// site table, and per-model minimal sets with evaluation counts. Cache and
-// simulation traffic is deliberately excluded — the report is byte-
-// identical between a cold and a warm run of the same query, so it can be
-// pinned as a golden file and diffed by CI.
+// site table, and per-model minimal sets. Cache and simulation traffic —
+// including evaluation counts, which depend on whether the walk was
+// statically pruned — is deliberately excluded: the report is byte-
+// identical between cold, warm, and pruned runs of the same query, so it
+// can be pinned as a golden file and diffed by CI.
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fencesearch: %s target=%v seeds=%d sites=%d\n",
@@ -459,14 +599,13 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "== %s ==\n", m.Config)
 		switch {
 		case m.AlreadyForbidden:
-			fmt.Fprintf(&b, "  already forbidden unfenced (0/%d runs match; %d evaluations)\n",
-				r.Seeds, m.Evals)
+			fmt.Fprintf(&b, "  already forbidden unfenced (0/%d runs match)\n", r.Seeds)
 		case len(m.Minimal) == 0:
-			fmt.Fprintf(&b, "  no sufficient fence set found (baseline %d/%d; %d evaluations)\n",
-				m.BaselineMatches, r.Seeds, m.Evals)
+			fmt.Fprintf(&b, "  no sufficient fence set found (baseline %d/%d)\n",
+				m.BaselineMatches, r.Seeds)
 		default:
-			fmt.Fprintf(&b, "  baseline admits target (%d/%d runs); %d minimal set(s) in %d evaluations\n",
-				m.BaselineMatches, r.Seeds, len(m.Minimal), m.Evals)
+			fmt.Fprintf(&b, "  baseline admits target (%d/%d runs); %d minimal set(s)\n",
+				m.BaselineMatches, r.Seeds, len(m.Minimal))
 			for _, set := range m.Minimal {
 				fmt.Fprintf(&b, "  {%s}\n", joinSites(set, r))
 			}
@@ -494,8 +633,8 @@ func joinSites(set []Site, r *Result) string {
 // TrafficString renders the nondeterministic traffic counters (varies with
 // cache warmth; printed to stderr by the CLI, never part of Report).
 func (r *Result) TrafficString() string {
-	return fmt.Sprintf("fencesearch: %d evaluations, %d simulated (%d runs), %d cache hits",
-		r.Evals, r.Simulated, r.Runs, r.CacheHits)
+	return fmt.Sprintf("fencesearch: %d evaluations, %d simulated (%d runs), %d cache hits, %d static",
+		r.Evals, r.Simulated, r.Runs, r.CacheHits, r.Static)
 }
 
 // sortSites orders a site set by (thread, pc); used by tests.

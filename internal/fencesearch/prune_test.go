@@ -1,0 +1,87 @@
+package fencesearch
+
+import (
+	"testing"
+
+	"invisifence/internal/isa"
+	"invisifence/internal/litmus"
+)
+
+// TestPruneEquivalence is the pruning acceptance gate: on the corpus tests
+// with live search walks, the statically-seeded walk must render a byte-
+// identical report while strictly reducing the number of simulated
+// candidate evaluations. Both runs use fresh in-memory caches so the
+// simulation counts are honest.
+func TestPruneEquivalence(t *testing.T) {
+	configs := []string{"sc", "tso", "rmo", "invisi-rmo"}
+	for _, name := range []string{"MP", "SB", "2+2W", "R"} {
+		q := Query{Test: name, Configs: configs}
+		unpruned, err := Search(q, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s unpruned: %v", name, err)
+		}
+		pruned, err := Search(q, Options{Workers: 4, Prune: true})
+		if err != nil {
+			t.Fatalf("%s pruned: %v", name, err)
+		}
+		if !pruned.Pruned {
+			t.Errorf("%s: Prune requested on a canonical corpus query but walk ran unpruned", name)
+		}
+		if unpruned.Pruned {
+			t.Errorf("%s: unpruned walk reports Pruned", name)
+		}
+		if a, b := unpruned.Report(), pruned.Report(); a != b {
+			t.Errorf("%s: pruned report differs:\n--- unpruned ---\n%s--- pruned ---\n%s", name, a, b)
+		}
+		if pruned.Simulated >= unpruned.Simulated {
+			t.Errorf("%s: pruning did not reduce simulations (%d pruned vs %d unpruned)",
+				name, pruned.Simulated, unpruned.Simulated)
+		}
+		if pruned.Static == 0 {
+			t.Errorf("%s: pruned walk answered no candidates statically", name)
+		}
+		if unpruned.Static != 0 {
+			t.Errorf("%s: unpruned walk counted %d static answers", name, unpruned.Static)
+		}
+	}
+}
+
+// TestPruneRequiresCanonicalTarget: a non-canonical target outcome gets no
+// static steering — the delay-set certificate only speaks about
+// SC-forbidden outcomes.
+func TestPruneRequiresCanonicalTarget(t *testing.T) {
+	res, err := Search(Query{Test: "SB", Configs: []string{"rmo"}, Target: litmus.OutcomeSpec{1, 1}},
+		Options{Workers: 4, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned {
+		t.Error("SB with target [1 1] (SC-allowed) must not be statically pruned")
+	}
+	// SearchInput never marks its input canonical, so Prune is inert there
+	// too.
+	var sb *litmus.Test
+	for i := range litmus.Tests {
+		if litmus.Tests[i].Name == "SB" {
+			sb = &litmus.Tests[i]
+		}
+	}
+	in := Input{
+		Name:   sb.Name,
+		Slots:  sb.Slots,
+		Finals: sb.FinalVars,
+		Bodies: litmus.BodyPrograms(*sb, isa.NoFences),
+		Target: sb.Target,
+	}
+	specs, err := resolveConfigs([]string{"rmo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = SearchInput(in, specs, Options{Workers: 4, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned {
+		t.Error("SearchInput without Canonical must not be statically pruned")
+	}
+}

@@ -1,0 +1,111 @@
+// Package analysis is a minimal, dependency-free skeleton of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics. The repo's lint
+// suite (cmd/lint, internal/lint/tracegate, internal/lint/determinism) is
+// built on it because the container vendors no external modules — the
+// loader (internal/lint/loader) supplies packages straight from `go list
+// -export` plus go/parser and go/types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one lint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// annotations.
+	Name string
+	// Doc is the one-paragraph description printed by cmd/lint -help.
+	Doc string
+	// Run inspects one package, reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	// Pkg and TypesInfo are the type-checked package and its expression
+	// types/uses/defs.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders "file:line:col: message (analyzer)".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless an annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a "//lint:allow <name>" comment sits on the
+// finding's line or the line immediately above it.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != position.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cl := p.Fset.Position(c.Pos()).Line
+				if cl != position.Line && cl != position.Line-1 {
+					continue
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				for _, name := range strings.Fields(rest) {
+					if name == p.Analyzer.Name {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Diagnostics returns the findings sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.Slice(p.diagnostics, func(i, j int) bool {
+		a, b := p.diagnostics[i].Pos, p.diagnostics[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diagnostics
+}

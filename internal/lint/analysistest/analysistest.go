@@ -1,0 +1,158 @@
+// Package analysistest runs a lint analyzer over a fixture package and
+// checks its findings against "// want" comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest but built entirely on the
+// standard library. Fixtures live under the analyzer's testdata/ directory
+// and may import real repo packages — the loader resolves them (and the
+// standard library) from `go list -export` build-cache data.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"invisifence/internal/lint/analysis"
+	"invisifence/internal/lint/loader"
+)
+
+// want is one expected finding.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// Run type-checks the fixture directory as one package, runs the analyzer,
+// and fails the test on any mismatch between diagnostics and the fixture's
+// "// want `regex`" comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("analysistest: %s: bad import %s", name, imp.Path.Value)
+			}
+			importSet[p] = true
+		}
+	}
+	wants := collectWants(t, fset, files)
+
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	conf := types.Config{}
+	if len(imports) > 0 {
+		lookup, err := loader.ExportLookup(imports...)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		conf.Importer = importer.ForCompiler(fset, "gc", lookup)
+	}
+	info := loader.NewInfo()
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking fixture: %v", err)
+	}
+
+	pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range pass.Diagnostics() {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+}
+
+// claim marks the first unhit want matching the diagnostic.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts `// want "rx"` / backquoted expectations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, strings.TrimPrefix(text, "want ")) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("analysistest: %s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns decodes the quoted (or backquoted) patterns of a want
+// comment.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("analysistest: %s: want patterns must be quoted, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], s[0])
+		if end < 0 {
+			t.Fatalf("analysistest: %s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("analysistest: %s: bad want pattern %s: %v", pos, raw, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

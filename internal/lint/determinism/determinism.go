@@ -1,0 +1,103 @@
+// Package determinism forbids nondeterminism sources in the simulator's
+// deterministic packages: wall-clock reads (time.Now/Since), the global
+// math/rand generator, and map-range iteration (whose order leaks into
+// anything it feeds). Determinism is the repo's foundational invariant —
+// golden grids, the run cache, and the litmus corpus all assume identical
+// inputs produce identical outputs.
+//
+// Seeded generators stay allowed: rand.New(rand.NewSource(seed)) is how the
+// network models jitter reproducibly, so the rand.New/NewSource/NewZipf
+// constructors (and all methods on a *rand.Rand) pass. A finding that is
+// provably order-independent can be annotated with
+// "//lint:allow determinism <reason>" on its line or the line above.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"invisifence/internal/lint/analysis"
+)
+
+// deterministicPkgs names the packages (by final import-path element or
+// package name) whose outputs must be bit-reproducible.
+var deterministicPkgs = map[string]bool{
+	"sim":         true,
+	"network":     true,
+	"coherence":   true,
+	"fencesearch": true,
+	"sweep":       true,
+	"staticfence": true,
+}
+
+// randAllowed lists math/rand package-level constructors that are fine:
+// they only wrap an explicit seed.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Analyzer is the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now, global math/rand, and map-range iteration in deterministic packages (sim, network, coherence, fencesearch, sweep, staticfence)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministicPkgs[path.Base(pass.Pkg.Path())] && !deterministicPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch e := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "call to time.%s in deterministic package %s: derive time from the simulated clock", fn.Name(), pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods on an explicitly-seeded *rand.Rand are fine
+		}
+		if randAllowed[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(), "call to global math/rand.%s in deterministic package %s: use rand.New(rand.NewSource(seed))", fn.Name(), pass.Pkg.Name())
+	}
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map-range iteration in deterministic package %s: iteration order leaks into results; iterate sorted keys, or annotate //lint:allow determinism if provably order-independent", pass.Pkg.Name())
+}

@@ -1,0 +1,47 @@
+// Package sim stands in for a deterministic package (matched by package
+// name) to exercise the determinism analyzer.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seededJitterOK(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit seed: allowed
+	return uint64(rng.Intn(8))            // method on *rand.Rand: allowed
+}
+
+func wallClockBad() int64 {
+	t := time.Now() // want `call to time\.Now in deterministic package sim`
+	return t.Unix()
+}
+
+func globalRandBad() int {
+	return rand.Intn(4) // want `call to global math/rand\.Intn in deterministic package sim`
+}
+
+func mapRangeBad(m map[int]int) int {
+	sum := 0
+	for k, v := range m { // want `map-range iteration in deterministic package sim`
+		sum += k * v
+	}
+	return sum
+}
+
+func mapRangeAnnotated(m map[int]int) int {
+	sum := 0
+	//lint:allow determinism summing is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceRangeOK(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

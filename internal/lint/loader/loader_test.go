@@ -1,0 +1,42 @@
+package loader_test
+
+import (
+	"testing"
+
+	"invisifence/internal/lint/loader"
+)
+
+// TestLoadRealPackage proves the go-list/export-data pipeline actually
+// yields parsed syntax and type information for a real repo package — so a
+// clean cmd/lint run means "analyzed and found nothing", not "loaded
+// nothing".
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := loader.Load("invisifence/internal/coherence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "invisifence/internal/coherence" {
+		t.Fatalf("ImportPath = %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no parsed files")
+	}
+	if p.Types == nil || p.Types.Name() != "coherence" {
+		t.Fatalf("bad types package: %v", p.Types)
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Fatal("empty Uses map: type info not populated")
+	}
+	// Comments must be retained: //lint:allow suppression depends on them.
+	comments := 0
+	for _, f := range p.Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Fatal("no comments retained; //lint:allow suppression would break")
+	}
+}

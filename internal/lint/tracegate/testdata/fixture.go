@@ -1,0 +1,46 @@
+// Package fixture exercises the tracegate analyzer. Each "// want" comment
+// pins an expected diagnostic; call sites without one must stay clean.
+package fixture
+
+import (
+	"invisifence/internal/coherence"
+	"invisifence/internal/memtypes"
+)
+
+func guardedPlain(cycle uint64, m coherence.Msg) {
+	if coherence.TraceOn() {
+		coherence.Trace(cycle, "node3", m, "load miss")
+	}
+}
+
+func guardedInit(cycle uint64, a memtypes.Addr) {
+	if on := coherence.TraceOn(); on && cycle > 0 {
+		coherence.TraceEvent(cycle, a, "GetS from %d", 2)
+	}
+}
+
+func guardedConjunct(cycle uint64, m coherence.Msg, verbose bool) {
+	if verbose && coherence.TraceOn() {
+		coherence.Trace(cycle, "dir", m, "verbose path")
+	}
+}
+
+func guardedOuter(cycle uint64, a memtypes.Addr) {
+	if coherence.TraceOn() {
+		for i := 0; i < 4; i++ {
+			coherence.TraceEvent(cycle, a, "sweep %d", i)
+		}
+	}
+}
+
+func unguarded(cycle uint64, a memtypes.Addr, m coherence.Msg) {
+	coherence.Trace(cycle, "node0", m, "oops")   // want `unguarded call to coherence\.Trace`
+	coherence.TraceEvent(cycle, a, "GetM %d", 0) // want `unguarded call to coherence\.TraceEvent`
+	if cycle > 10 {                              // unrelated guard does not count
+		coherence.Trace(cycle, "node1", m, "still bad") // want `unguarded call to coherence\.Trace`
+	}
+}
+
+func slowPathAllowed(cycle uint64) {
+	coherence.TraceAlways(cycle, "deadlock dump %d", cycle) // escape hatch, never flagged
+}

@@ -1,0 +1,108 @@
+// Package tracegate enforces the PR 4 hot-path tracing contract: every call
+// to coherence.Trace or coherence.TraceEvent must be guarded by a
+// coherence.TraceOn() check. The callees early-return when tracing is off,
+// but by then the call site has already paid fmt.Sprintf and ...any boxing
+// allocations — which once dominated the simulator's heap profile. The
+// contract was previously enforced only by review.
+package tracegate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"invisifence/internal/lint/analysis"
+)
+
+// coherencePath is the package whose tracing entry points are gated.
+const coherencePath = "invisifence/internal/coherence"
+
+// gated lists the functions that allocate at the call site; TraceAlways is
+// deliberately absent (it is the acknowledged slow-path escape hatch).
+var gated = map[string]bool{"Trace": true, "TraceEvent": true}
+
+// Analyzer is the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracegate",
+	Doc:  "flag coherence.Trace/TraceEvent call sites not guarded by coherence.TraceOn()",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name := gatedCallee(pass, call); name != "" && !guarded(pass, stack) {
+					pass.Reportf(call.Pos(), "unguarded call to coherence.%s: wrap in if coherence.TraceOn() { ... } (argument boxing allocates even when tracing is off)", name)
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// gatedCallee returns the gated function's name when the call resolves to
+// coherence.Trace/TraceEvent (selector form from other packages, bare
+// identifier within package coherence), else "".
+func gatedCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != coherencePath {
+		return ""
+	}
+	if !gated[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch e := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// guarded reports whether any enclosing if statement's init/condition calls
+// coherence.TraceOn (directly or as one conjunct).
+func guarded(pass *analysis.Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if containsTraceOn(pass, ifs.Cond) || (ifs.Init != nil && containsTraceOn(pass, ifs.Init)) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsTraceOn(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == coherencePath && fn.Name() == "TraceOn" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package tracegate_test
+
+import (
+	"testing"
+
+	"invisifence/internal/lint/analysistest"
+	"invisifence/internal/lint/tracegate"
+)
+
+func TestTracegate(t *testing.T) {
+	analysistest.Run(t, "testdata", tracegate.Analyzer)
+}

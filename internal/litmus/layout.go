@@ -1,0 +1,31 @@
+package litmus
+
+import "invisifence/internal/isa"
+
+// The litmus body protocol addresses memory through two base registers set
+// up by the per-seed harness prefix (RunSeed): R4 points at the shared
+// variable area and R5 at the private result area. Static analyses
+// (internal/staticfence) classify a body's accesses by these bases: only
+// shared-area accesses can conflict across threads, and the per-seed
+// rotation of the shared base (varsBase) moves whole blocks, so a variable's
+// identity is its offset divided by the stride regardless of the seed.
+const (
+	// VarsReg is the base register of the shared-variable area.
+	VarsReg = isa.R4
+	// ResultsReg is the base register of the per-thread result area.
+	ResultsReg = isa.R5
+	// VarStride is the byte stride between shared variables (one block
+	// each, to avoid false sharing); result slots use the same stride.
+	VarStride = varStride
+)
+
+// VarIndex maps a shared-area (or result-area) byte offset to its variable
+// index. ok is false for offsets that are not a whole non-negative stride —
+// such an access does not follow the litmus layout and a static analysis
+// must refuse to classify it.
+func VarIndex(off int64) (int, bool) {
+	if off < 0 || off%VarStride != 0 {
+		return 0, false
+	}
+	return int(off / VarStride), true
+}
