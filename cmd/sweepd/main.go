@@ -1,0 +1,92 @@
+// Command sweepd serves sweep campaigns over HTTP: POST a SweepSpec (the
+// same JSON cmd/sweep takes via -spec) to /sweeps and the daemon expands
+// it into cells, schedules them on a work-stealing worker pool, dedupes
+// identical in-flight cells across all concurrent campaigns
+// (single-flight), and persists every simulated result into the shared
+// content-addressed cache — so repeated or overlapping campaigns, from
+// any number of clients or processes, simulate each unique configuration
+// exactly once. Progress streams per cell as NDJSON from
+// /sweeps/{id}/events; the finished table at /sweeps/{id}/table is
+// byte-identical to cmd/sweep run offline on the same spec.
+//
+// Usage:
+//
+//	sweepd -addr :8377 -cache .invisifence-cache -workers 8
+//
+//	curl -d @grid.json localhost:8377/sweeps            # -> {"id":"c0001",...}
+//	curl localhost:8377/sweeps/c0001                    # status + counters
+//	curl -N localhost:8377/sweeps/c0001/events          # NDJSON progress
+//	curl localhost:8377/sweeps/c0001/table              # deterministic table
+//
+// SIGINT/SIGTERM drain gracefully: new specs get 503, in-flight cells
+// finish and persist, queued cells are marked aborted, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"invisifence/internal/sweepd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	cacheDir := flag.String("cache", ".invisifence-cache", "persistent result cache directory (\"\" = memory-only)")
+	workers := flag.Int("workers", defaultWorkers(), "concurrent simulations across all campaigns")
+	maxCells := flag.Int("maxcells", 0, "per-spec cell cap (0 = the server default)")
+	flag.Parse()
+
+	srv, err := sweepd.New(sweepd.Options{
+		Workers:  *workers,
+		CacheDir: *cacheDir,
+		MaxCells: *maxCells,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (in-flight cells finish and persist; queued cells abort)\n", sig)
+		srv.Shutdown() // returns once every campaign is terminal
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx) // then close the listener and idle conns
+		fmt.Fprintf(os.Stderr, "sweepd: drained; %s\n", srv.Stats())
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s (%d workers, cache %q)\n", *addr, *workers, *cacheDir)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// defaultWorkers mirrors cmd/bench's cluster sizing: scale with the
+// host, floor 4, cap 16 — simulations are single-threaded internally, so
+// the pool is the only parallelism.
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		return 4
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package runcache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FlightStats counts single-flight traffic since NewFlight.
+type FlightStats struct {
+	// Leaders counts calls that executed their function.
+	Leaders uint64
+	// Followers counts calls that waited on a leader's in-flight
+	// execution instead of running their own: the work deduplicated.
+	Followers uint64
+	// Panics counts leader functions that panicked (converted to errors
+	// for every waiter; see Flight.Do).
+	Panics uint64
+}
+
+// String renders the stats for CLI/telemetry output.
+func (s FlightStats) String() string {
+	return fmt.Sprintf("flight: %d leaders, %d followers, %d panics",
+		s.Leaders, s.Followers, s.Panics)
+}
+
+// PanicError is the error every caller of Do receives when the leader's
+// function panicked.
+type PanicError struct {
+	// Key is the flight key whose leader panicked.
+	Key string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runcache: in-flight computation for %.12s… panicked: %v", e.Key, e.Value)
+}
+
+// call is one in-flight computation.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Flight deduplicates concurrent computations of the same key: while one
+// caller (the leader) runs the function, every other caller of the same
+// key (the followers) blocks until the leader finishes and then shares
+// its value and error. Keys are the same canonical content-addressed
+// strings the Cache uses, so a Flight in front of a Cache closes the
+// window the cache alone leaves open — two workers both missing on a key
+// and simulating it twice.
+//
+// Unlike most single-flight implementations, a leader panic does not
+// propagate: it is recovered, counted in FlightStats.Panics, and
+// surfaced to the leader and every follower as a *PanicError. A
+// long-running server cannot afford one poisoned computation taking
+// down unrelated waiters (or the process), and the error form lets the
+// caller mark just that key failed.
+//
+// The zero Flight is ready to use.
+type Flight struct {
+	mu       sync.Mutex
+	inflight map[string]*call
+	stats    FlightStats
+}
+
+// Do returns the result of computing fn for key, executing it at most
+// once across all concurrent callers of the same key. shared reports
+// that this caller was a follower (the value came from another caller's
+// execution). Results are not memoized: once the last waiter is
+// released, the next Do for the key runs fn again — persistence across
+// completed flights is the Cache's job.
+func (f *Flight) Do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+	f.mu.Lock()
+	if f.inflight == nil {
+		f.inflight = make(map[string]*call)
+	}
+	if c, ok := f.inflight[key]; ok {
+		f.stats.Followers++
+		f.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	f.inflight[key] = c
+	f.stats.Leaders++
+	f.mu.Unlock()
+
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.err = &PanicError{Key: key, Value: p}
+				f.mu.Lock()
+				f.stats.Panics++
+				f.mu.Unlock()
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	f.mu.Lock()
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// InFlight returns the keys currently executing, sorted, a snapshot of
+// the in-flight registry for telemetry endpoints.
+func (f *Flight) InFlight() []string {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.inflight))
+	for k := range f.inflight {
+		keys = append(keys, k)
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Flight) Stats() FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -1,0 +1,210 @@
+package runcache
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightDedupesConcurrentCallers(t *testing.T) {
+	var f Flight
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := f.Do("k", func() (any, error) {
+				<-gate // hold the flight open until all callers joined
+				execs.Add(1)
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do: %v, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait until the late callers are registered as followers, then
+	// release the leader.
+	for f.Stats().Followers < callers-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("%d executions for %d concurrent callers", n, callers)
+	}
+	if sharedCount.Load() != callers-1 {
+		t.Fatalf("%d callers saw shared=true, want %d", sharedCount.Load(), callers-1)
+	}
+	s := f.Stats()
+	if s.Leaders != 1 || s.Followers != callers-1 || s.Panics != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestFlightDistinctKeysIndependent(t *testing.T) {
+	var f Flight
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, shared, err := f.Do(k, func() (any, error) {
+				execs.Add(1)
+				return k, nil
+			}); shared || err != nil {
+				t.Errorf("key %s: shared=%v err=%v", k, shared, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if execs.Load() != 3 {
+		t.Fatalf("distinct keys collapsed: %d executions", execs.Load())
+	}
+}
+
+func TestFlightSequentialCallsReExecute(t *testing.T) {
+	// Flight is dedupe-in-flight only, not a memo: persistence belongs
+	// to the Cache.
+	var f Flight
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, shared, _ := f.Do("k", func() (any, error) { execs.Add(1); return nil, nil }); shared {
+			t.Fatal("sequential caller reported shared result")
+		}
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("sequential executions: %d", execs.Load())
+	}
+}
+
+func TestFlightErrorSharedWithFollowers(t *testing.T) {
+	var f Flight
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	leaderStarted := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = f.Do("k", func() (any, error) {
+			close(leaderStarted)
+			<-gate
+			return nil, boom
+		})
+	}()
+	<-leaderStarted
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = f.Do("k", func() (any, error) {
+				t.Error("follower executed fn")
+				return nil, nil
+			})
+		}()
+	}
+	for f.Stats().Followers < 3 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+}
+
+func TestFlightLeaderPanicBecomesError(t *testing.T) {
+	var f Flight
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = f.Do("k", func() (any, error) {
+			close(started)
+			<-gate
+			panic("poisoned cell")
+		})
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		_, _, followerErr = f.Do("k", func() (any, error) { return nil, nil })
+	}()
+	for f.Stats().Followers < 1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	for who, err := range map[string]error{"leader": leaderErr, "follower": followerErr} {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s error: %v (want *PanicError)", who, err)
+		}
+		if pe.Key != "k" || pe.Value.(string) != "poisoned cell" {
+			t.Fatalf("%s panic detail: %+v", who, pe)
+		}
+		if !strings.Contains(err.Error(), "poisoned cell") {
+			t.Fatalf("%s error text: %q", who, err)
+		}
+	}
+	if s := f.Stats(); s.Panics != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// The key is released: the next call runs fresh.
+	if _, shared, err := f.Do("k", func() (any, error) { return 1, nil }); shared || err != nil {
+		t.Fatalf("post-panic call: shared=%v err=%v", shared, err)
+	}
+}
+
+func TestFlightInFlightRegistry(t *testing.T) {
+	var f Flight
+	if keys := f.InFlight(); len(keys) != 0 {
+		t.Fatalf("idle registry: %v", keys)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for _, k := range []string{"zz", "aa"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Do(k, func() (any, error) {
+				started <- struct{}{}
+				<-gate
+				return nil, nil
+			})
+		}()
+	}
+	<-started
+	<-started
+	if keys := f.InFlight(); len(keys) != 2 || keys[0] != "aa" || keys[1] != "zz" {
+		t.Fatalf("registry snapshot: %v (want sorted [aa zz])", keys)
+	}
+	close(gate)
+	wg.Wait()
+	if keys := f.InFlight(); len(keys) != 0 {
+		t.Fatalf("registry after completion: %v", keys)
+	}
+}

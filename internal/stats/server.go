@@ -1,0 +1,45 @@
+package stats
+
+import "fmt"
+
+// ServerStats is the sweepd campaign server's lifetime telemetry: every
+// counter is monotone since process start, so deltas between scrapes are
+// meaningful. Cell counters classify each scheduled cell by how it was
+// satisfied — exactly one of Cached / Simulated / Deduped / Failed /
+// Aborted per cell — which makes "CellsSimulated stayed flat across a
+// repeated campaign" the server-side statement of the single-flight and
+// cache contracts.
+type ServerStats struct {
+	// CampaignsAccepted counts specs admitted by POST /sweeps;
+	// CampaignsCompleted the subset that reached a terminal state with
+	// every cell satisfied, CampaignsFailed those that finished with at
+	// least one failed or aborted cell.
+	CampaignsAccepted  uint64 `json:"campaigns_accepted"`
+	CampaignsCompleted uint64 `json:"campaigns_completed"`
+	CampaignsFailed    uint64 `json:"campaigns_failed"`
+	// SpecsRejected counts malformed or invalid specs (400s);
+	// SpecsRefused counts specs turned away by a draining server (503s).
+	SpecsRejected uint64 `json:"specs_rejected"`
+	SpecsRefused  uint64 `json:"specs_refused"`
+
+	// CellsScheduled counts cells handed to the worker pool.
+	CellsScheduled uint64 `json:"cells_scheduled"`
+	// CellsCached were answered by the persistent cache, CellsSimulated
+	// ran a simulation in this process, CellsDeduped shared another
+	// in-flight cell's simulation (single-flight followers),
+	// CellsFailed errored or panicked, and CellsAborted were queued
+	// cells abandoned by a graceful shutdown.
+	CellsCached    uint64 `json:"cells_cached"`
+	CellsSimulated uint64 `json:"cells_simulated"`
+	CellsDeduped   uint64 `json:"cells_deduped"`
+	CellsFailed    uint64 `json:"cells_failed"`
+	CellsAborted   uint64 `json:"cells_aborted"`
+}
+
+// String renders the stats for log output.
+func (s ServerStats) String() string {
+	return fmt.Sprintf(
+		"campaigns: %d accepted (%d completed, %d failed, %d rejected, %d refused); cells: %d scheduled (%d cached, %d simulated, %d deduped, %d failed, %d aborted)",
+		s.CampaignsAccepted, s.CampaignsCompleted, s.CampaignsFailed, s.SpecsRejected, s.SpecsRefused,
+		s.CellsScheduled, s.CellsCached, s.CellsSimulated, s.CellsDeduped, s.CellsFailed, s.CellsAborted)
+}

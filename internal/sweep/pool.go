@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"sync"
+)
+
+// Task is one unit of pool work. Tasks carry their own context via
+// closure; the pool never inspects them.
+type Task func()
+
+// PoolStats counts pool traffic since NewPool.
+type PoolStats struct {
+	// Submitted and Completed count tasks accepted vs finished.
+	Submitted, Completed uint64
+	// Steals counts tasks a worker took from another worker's queue.
+	// Zero under perfectly balanced load; a skewed cost distribution
+	// (one queue holding all the expensive cells) drives it up, which is
+	// exactly when stealing pays.
+	Steals uint64
+	// Dropped counts tasks discarded by Stop before any worker ran them.
+	Dropped uint64
+}
+
+// Pool is a long-lived work-stealing executor: each worker owns a FIFO
+// queue, Submit distributes tasks round-robin across the queues, and a
+// worker that runs dry steals from the back of a sibling's queue. The
+// stealable queues keep skewed task costs from serializing behind one
+// worker — a cheap campaign submitted after an expensive one overlaps it
+// instead of queuing behind it — while round-robin placement keeps the
+// no-contention path deterministic.
+//
+// All queue state sits behind one mutex: pool tasks are simulation cells
+// costing milliseconds to seconds, so lock granularity is irrelevant and
+// a single lock keeps stealing trivially race-free. Task completion order
+// is nondeterministic; callers that need deterministic output must index
+// results by task identity (as Run does), never by completion order.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [][]Task // one FIFO per worker; workers steal from the back
+	next   int      // round-robin submit cursor
+	active int      // tasks currently executing
+	closed bool
+	stats  PoolStats
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of workers (values < 1
+// mean 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{queues: make([][]Task, workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.queues) }
+
+// Submit enqueues a task and reports whether the pool accepted it
+// (false after Close/Stop). Safe from any goroutine.
+func (p *Pool) Submit(t Task) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.queues[p.next] = append(p.queues[p.next], t)
+	p.next = (p.next + 1) % len(p.queues)
+	p.stats.Submitted++
+	p.cond.Signal()
+	return true
+}
+
+// Drain blocks until every previously submitted task has completed.
+// Tasks submitted while draining extend the wait; callers that want a
+// terminal drain should stop submitting first.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pendingLocked() > 0 {
+		p.cond.Wait()
+	}
+}
+
+// Close rejects further submissions, waits for all queued and running
+// tasks to finish, and stops the workers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stop rejects further submissions, discards tasks no worker has started
+// (counted in Stats().Dropped), waits for in-flight tasks to finish, and
+// stops the workers. This is the graceful-shutdown primitive: in-flight
+// work completes, queued work is abandoned.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	p.closed = true
+	for w := range p.queues {
+		p.stats.Dropped += uint64(len(p.queues[w]))
+		p.queues[w] = nil
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// pendingLocked counts tasks not yet completed. Caller holds mu.
+func (p *Pool) pendingLocked() int {
+	n := p.active
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// takeLocked claims the next task for worker w: the front of its own
+// queue, else the back of the first non-empty sibling queue scanning
+// round-robin from w+1 (stealing from the back takes the most recently
+// distributed work, which under round-robin placement is the task
+// farthest from being reached by its owner). Caller holds mu.
+func (p *Pool) takeLocked(w int) (Task, bool) {
+	if q := p.queues[w]; len(q) > 0 {
+		t := q[0]
+		q[0] = nil
+		p.queues[w] = q[1:]
+		return t, false
+	}
+	n := len(p.queues)
+	for i := 1; i < n; i++ {
+		v := (w + i) % n
+		if q := p.queues[v]; len(q) > 0 {
+			t := q[len(q)-1]
+			q[len(q)-1] = nil
+			p.queues[v] = q[:len(q)-1]
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		t, stolen := p.takeLocked(w)
+		if t == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		if stolen {
+			p.stats.Steals++
+		}
+		p.active++
+		p.mu.Unlock()
+		t()
+		p.mu.Lock()
+		p.active--
+		p.stats.Completed++
+		// Wake both idle workers (more queued work may exist) and
+		// Drain waiters (pending may have hit zero).
+		p.cond.Broadcast()
+	}
+}

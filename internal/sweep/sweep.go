@@ -1,6 +1,6 @@
 // Package sweep expands declarative parameter grids into job lists and
-// executes them on a bounded worker pool with deterministic result
-// ordering.
+// executes them on a bounded work-stealing worker pool with deterministic
+// result ordering.
 //
 // A Grid is an ordered list of named axes; Expand produces the full
 // cartesian product in row-major order (the last axis varies fastest), so
@@ -8,7 +8,10 @@
 // arbitrary job slice through a worker function: results come back indexed
 // exactly like the input jobs regardless of worker count or completion
 // order, which keeps downstream tables byte-identical between a serial
-// debug run and a 32-way sweep.
+// debug run and a 32-way sweep. Run is one-shot; long-running callers
+// (the sweepd campaign server) use Pool directly, whose per-worker
+// stealable queues keep skewed cell costs from serializing behind one
+// worker.
 package sweep
 
 import (
@@ -124,6 +127,11 @@ func (e *JobError) Unwrap() error { return e.Err }
 // for in-flight jobs, skips unstarted ones, and returns the error of the
 // lowest-indexed failing job (again independent of scheduling), wrapped in
 // a *JobError.
+//
+// Run is a one-shot convenience over Pool: it builds a pool of the
+// requested width, submits every job, drains, and closes. Long-running
+// callers (the sweepd campaign scheduler) hold a Pool directly so
+// independent job batches share workers and steal from each other.
 func Run[J, R any](jobs []J, opts Options, fn func(J) (R, error)) ([]R, error) {
 	workers := opts.Workers
 	if workers < 1 {
@@ -131,6 +139,9 @@ func Run[J, R any](jobs []J, opts Options, fn func(J) (R, error)) ([]R, error) {
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return []R{}, nil
 	}
 	results := make([]R, len(jobs))
 	var (
@@ -141,35 +152,37 @@ func Run[J, R any](jobs []J, opts Options, fn func(J) (R, error)) ([]R, error) {
 		done int
 		errs []*JobError
 	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) || failed.Load() {
-					return
-				}
-				r, err := fn(jobs[i])
-				mu.Lock()
-				if err != nil {
-					failed.Store(true)
-					errs = append(errs, &JobError{Index: i, Err: err})
-				} else {
-					results[i] = r
-				}
-				done++
-				// The callback runs under mu so invocations are
-				// serialized and Done is monotone, as documented.
-				if opts.OnProgress != nil {
-					opts.OnProgress(Progress{Done: done, Total: len(jobs), Index: i, Err: err})
-				}
-				mu.Unlock()
+	// One task per job, but tasks claim indexes from a shared counter
+	// rather than carrying one: fn starts in strict index order no matter
+	// which queue a task sat in or which worker stole it. That keeps the
+	// old contract — after a failure every unstarted job has a higher
+	// index than every recorded error, so the lowest recorded error is
+	// scheduling-independent.
+	pool := NewPool(workers)
+	for range jobs {
+		pool.Submit(func() {
+			i := int(next.Add(1)) - 1
+			if failed.Load() {
+				return
 			}
-		}()
+			r, err := fn(jobs[i])
+			mu.Lock()
+			if err != nil {
+				failed.Store(true)
+				errs = append(errs, &JobError{Index: i, Err: err})
+			} else {
+				results[i] = r
+			}
+			done++
+			// The callback runs under mu so invocations are
+			// serialized and Done is monotone, as documented.
+			if opts.OnProgress != nil {
+				opts.OnProgress(Progress{Done: done, Total: len(jobs), Index: i, Err: err})
+			}
+			mu.Unlock()
+		})
 	}
-	wg.Wait()
+	pool.Close()
 	if len(errs) > 0 {
 		sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
 		return nil, errs[0]

@@ -1,0 +1,174 @@
+package sweepd
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"invisifence"
+)
+
+// TestPoisonedCellFailsAlone injects a panic into one cell of a
+// six-cell campaign: that cell alone is marked failed (with an error
+// naming it), every sibling completes, the campaign reaches "failed",
+// and the server keeps serving new campaigns afterwards.
+func TestPoisonedCellFailsAlone(t *testing.T) {
+	srv, err := New(Options{Workers: 2, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		if cfg.Seed == 3 {
+			panic("poisoned cell")
+		}
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := tinySpec()
+	spec.Variants = []string{"sc"}
+	spec.Seeds = []int64{1, 2, 3, 4, 5, 6}
+	id := postSpec(t, ts.URL, spec)
+	st := pollDone(t, ts.URL, id)
+	if st.State != "failed" {
+		t.Fatalf("campaign state %q, want failed: %+v", st.State, st)
+	}
+	if st.Cells.Failed != 1 || st.Cells.Simulated != 5 {
+		t.Fatalf("cell counters: %+v", st.Cells)
+	}
+	if len(st.Failures) != 1 {
+		t.Fatalf("failures: %+v", st.Failures)
+	}
+	f := st.Failures[0]
+	if f.Seed != 3 || f.Workload != "barnes" || f.Variant != "sc" {
+		t.Fatalf("failure identifies the wrong cell: %+v", f)
+	}
+	if !strings.Contains(f.Error, "panicked") || !strings.Contains(f.Error, "poisoned cell") {
+		t.Fatalf("failure error: %q", f.Error)
+	}
+
+	// A failed campaign has no complete table: 409, not a crash.
+	resp, err := http.Get(ts.URL + "/sweeps/" + id + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("table of failed campaign: %s", resp.Status)
+	}
+
+	// The worker that hosted the panic survived: a fresh campaign on the
+	// same server completes.
+	spec.Seeds = []int64{10, 11}
+	id2 := postSpec(t, ts.URL, spec)
+	if st2 := pollDone(t, ts.URL, id2); st2.State != "done" || st2.Cells.Simulated != 2 {
+		t.Fatalf("post-panic campaign: %+v", st2)
+	}
+	s := srv.Stats()
+	if s.CampaignsFailed != 1 || s.CampaignsCompleted != 1 || s.CellsFailed != 1 {
+		t.Fatalf("server stats: %+v", s)
+	}
+}
+
+// TestGracefulShutdownDrainsAndPersists interrupts a four-cell campaign
+// with one cell mid-simulation: Shutdown lets that cell finish and
+// persist, aborts the three queued cells, refuses new specs with 503,
+// and a restarted server on the same cache directory answers the
+// re-submitted spec's completed cell from disk — so across the restart
+// every cell simulates exactly once.
+func TestGracefulShutdownDrainsAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec() // 4 cells
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release := make(chan struct{})
+	open := sync.OnceFunc(func() { close(release) })
+	defer open()
+	started := make(chan struct{})
+	var once sync.Once
+	var runsBefore atomic.Int64
+	srv, err := New(Options{Workers: 1, CacheDir: dir, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		runsBefore.Add(1)
+		once.Do(func() { close(started) })
+		<-release
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := srv.Submit(spec, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // one cell is simulating; three are queued behind the single worker
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(shutdownDone)
+	}()
+	for !srv.Draining() {
+		runtime.Gosched()
+	}
+	// Draining: direct submissions get the sentinel, HTTP ones a 503.
+	if _, err := srv.Submit(spec, jobs); err != errDraining {
+		t.Fatalf("Submit while draining: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/sweeps", bytes.NewReader(mustJSON(t, spec))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: %d %s", rec.Code, rec.Body)
+	}
+
+	open() // let the in-flight cell finish
+	<-shutdownDone
+
+	st := c.Status()
+	if st.State != "aborted" {
+		t.Fatalf("campaign state %q, want aborted: %+v", st.State, st)
+	}
+	if st.Cells.Simulated != 1 || st.Cells.Aborted != 3 {
+		t.Fatalf("drained cell counters: %+v", st.Cells)
+	}
+	if n := runsBefore.Load(); n != 1 {
+		t.Fatalf("%d simulations before shutdown, want 1", n)
+	}
+	if s := srv.Stats(); s.SpecsRefused != 2 || s.CellsAborted != 3 {
+		t.Fatalf("server stats after drain: %+v", s)
+	}
+
+	// Restart on the same cache directory: the drained cell's result is
+	// on disk, so the re-submitted spec only simulates the aborted cells.
+	var runsAfter atomic.Int64
+	srv2, err := New(Options{Workers: 2, CacheDir: dir, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		runsAfter.Add(1)
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown()
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+	id := postSpec(t, ts.URL, spec)
+	st2 := pollDone(t, ts.URL, id)
+	if st2.State != "done" {
+		t.Fatalf("restarted campaign: %+v", st2)
+	}
+	if st2.Cells.Cached != 1 || st2.Cells.Simulated != 3 {
+		t.Fatalf("restarted cell counters: %+v", st2.Cells)
+	}
+	if total := runsBefore.Load() + runsAfter.Load(); total != int64(len(jobs)) {
+		t.Fatalf("%d simulations across the restart for %d cells", total, len(jobs))
+	}
+}

@@ -1,0 +1,67 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"invisifence"
+)
+
+// FuzzSpecDecode throws arbitrary bytes at the POST /sweeps decoder.
+// Invariants: DecodeSpec never panics, never expands past the admission
+// cap, and every accepted spec is canonical — re-encoding it and
+// decoding again is a fixed point that expands to the same cells
+// (byte-identical JSON, identical cache keys). Rejections are ordinary
+// errors, which the HTTP layer turns into structured 400s.
+func FuzzSpecDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"workloads":["barnes"],"variants":["sc","invisi-sc"],"seeds":[1,2],"scale":0.2}`))
+	f.Add([]byte(`{"nodes":[4,8],"link_bandwidths":[0,1],"sb_depths":[0,64],"checkpoints":[0,2]}`))
+	f.Add([]byte(`{"machine":{"Width":2,"Height":2,"HopLatency":10}}`))
+	f.Add([]byte(`{"variants":["invisi-sc-2ckpt"],"max_cycles":1000}`))
+	f.Add([]byte(`{"wrkloads":["barnes"]}`))
+	f.Add([]byte(`{"seeds":[1],"scale":-3}`))
+	f.Add([]byte(`{"nodes":[1000000007]}`))
+	f.Add([]byte(`{"machine":{"Width":-1,"Height":2}}`))
+	f.Add([]byte(`{"seeds":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}`))
+	f.Add([]byte(`{} {}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxCells = 512
+		spec, jobs, err := DecodeSpec(data, maxCells)
+		if err != nil {
+			// Rejected input: the only contract is that rejection was an
+			// error value, not a panic (the fuzz engine catches panics).
+			return
+		}
+		if len(jobs) > maxCells {
+			t.Fatalf("accepted spec expanded to %d jobs, admission cap is %d", len(jobs), maxCells)
+		}
+		enc1, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshaling accepted spec: %v", err)
+		}
+		spec2, jobs2, err := DecodeSpec(enc1, maxCells)
+		if err != nil {
+			t.Fatalf("re-decoding accepted spec failed: %v\ninput: %q\nencoded: %s", err, data, enc1)
+		}
+		enc2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("re-marshaling accepted spec: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("spec encoding is not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+		if len(jobs) != len(jobs2) {
+			t.Fatalf("round-trip changed the expansion: %d vs %d jobs", len(jobs), len(jobs2))
+		}
+		for i := range jobs {
+			if invisifence.ResultKey(jobs[i]) != invisifence.ResultKey(jobs2[i]) {
+				t.Fatalf("round-trip changed job %d's cache key", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package sweepd
+
+import (
+	"fmt"
+
+	"invisifence"
+	"invisifence/internal/stats"
+)
+
+// runCell satisfies one campaign cell. The resolution order is the
+// server's economy: persistent cache first (free), then the in-flight
+// registry (share a simulation another worker is already running), then
+// a fresh simulation published back into the cache before any
+// single-flight follower is released — so by the time a waiter or a
+// restarted process asks, the cache answers.
+func (s *Server) runCell(c *Campaign, i int) {
+	if s.draining.Load() {
+		c.transition(i, cellAborted, nil, "server draining: cell was queued, never started")
+		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsAborted++ })
+		return
+	}
+	c.transition(i, cellRunning, nil, "")
+	key := c.keys[i]
+	var res invisifence.Result
+	if ok, _ := s.cache.Get(key, &res); ok {
+		c.transition(i, cellCached, &res, "")
+		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsCached++ })
+		return
+	}
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		r, err := s.safeRun(c.jobs[i])
+		if err != nil {
+			return nil, err
+		}
+		// Publish before the flight releases its followers: best-effort
+		// (a failed write degrades a future process to re-simulation),
+		// but ordered so a drain that returns after this cell finished
+		// implies the result is on disk.
+		_ = s.cache.Put(key, r)
+		return r, nil
+	})
+	switch {
+	case err != nil:
+		c.transition(i, cellFailed, nil, err.Error())
+		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsFailed++ })
+	case shared:
+		r := v.(invisifence.Result)
+		c.transition(i, cellDeduped, &r, "")
+		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsDeduped++ })
+	default:
+		r := v.(invisifence.Result)
+		c.transition(i, cellSimulated, &r, "")
+		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsSimulated++ })
+	}
+}
+
+// safeRun executes one cell, converting a panic into an error: a
+// poisoned cell fails alone — the worker, its queue siblings, and the
+// server all survive. (The flight layer has the same guard, so even a
+// panic outside safeRun's window could not strand followers.)
+func (s *Server) safeRun(cfg invisifence.Config) (res invisifence.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweepd: cell %s/%s seed=%d panicked: %v",
+				cfg.Workload, cfg.Variant.Name, cfg.Seed, p)
+		}
+	}()
+	return s.opts.Run(cfg)
+}
+
+// finishCampaign applies the cell's telemetry delta and, when this cell
+// completed its campaign, the campaign-level counters.
+func (s *Server) finishCampaign(c *Campaign, cell func(*stats.ServerStats)) {
+	st := ""
+	c.mu.Lock()
+	if c.finished {
+		st = c.stateLocked()
+	}
+	justFinished := c.finished && !c.counted
+	c.counted = c.finished
+	c.mu.Unlock()
+	s.count(func(t *stats.ServerStats) {
+		cell(t)
+		if justFinished {
+			if st == "done" {
+				t.CampaignsCompleted++
+			} else {
+				t.CampaignsFailed++
+			}
+		}
+	})
+}

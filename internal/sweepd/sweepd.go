@@ -1,0 +1,181 @@
+// Package sweepd is the campaign server: a long-running HTTP/JSON service
+// that accepts SweepSpecs, expands them into cells, schedules the cells
+// across a work-stealing worker pool, and answers every cell from — in
+// order of preference — the persistent content-addressed result cache, an
+// identical cell already in flight (single-flight dedupe), or a fresh
+// simulation whose result is published back into the cache. Campaigns
+// stream per-cell progress as NDJSON events and render their finished
+// result table byte-identically to an offline cmd/sweep run of the same
+// spec: the server boundary adds sharing, never nondeterminism.
+//
+// The API (DESIGN.md §13):
+//
+//	POST /sweeps              submit a SweepSpec; 202 + {id}, 400 on a bad
+//	                          spec, 503 while draining
+//	GET  /sweeps              list campaign statuses
+//	GET  /sweeps/{id}         one campaign's status and cell counters
+//	GET  /sweeps/{id}/events  NDJSON event stream (replay + live tail)
+//	GET  /sweeps/{id}/table   the finished result table (text; ?markdown=1)
+//	GET  /healthz             liveness ("ok", or "draining")
+//	GET  /statsz              server/cache/flight/pool telemetry
+//
+// Shutdown is graceful: Shutdown marks the server draining (new specs get
+// 503), lets in-flight cells finish and persist, marks still-queued cells
+// aborted, and returns once every campaign is terminal. A restarted
+// sweepd answers the re-submitted spec's completed cells from the shared
+// cache directory.
+package sweepd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"invisifence"
+	"invisifence/internal/runcache"
+	"invisifence/internal/stats"
+	"invisifence/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent simulations across all campaigns
+	// (values < 1 mean 4).
+	Workers int
+	// CacheDir roots the persistent result cache shared with cmd/sweep
+	// and Campaign; "" keeps results in memory only (they die with the
+	// process).
+	CacheDir string
+	// MaxCells caps one spec's expanded grid size (values < 1 mean
+	// 100000): the admission guard against accidental or hostile
+	// combinatorial explosions.
+	MaxCells int
+	// Run executes one cell (nil means invisifence.Run). Tests inject
+	// counting, gated, or panicking implementations here.
+	Run func(invisifence.Config) (invisifence.Result, error)
+}
+
+// Server is the campaign scheduler and store behind the HTTP API. Create
+// with New, serve via Handler, stop with Shutdown.
+type Server struct {
+	opts   Options
+	cache  *runcache.Cache
+	flight *runcache.Flight
+	pool   *sweep.Pool
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string // campaign IDs in admission order
+	seq       int
+
+	draining atomic.Bool
+	shutdown sync.Once
+
+	tmu   sync.Mutex
+	telem stats.ServerStats
+}
+
+// New starts a server: the worker pool is live immediately and the cache
+// directory is created if needed.
+func New(opts Options) (*Server, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 4
+	}
+	if opts.MaxCells < 1 {
+		opts.MaxCells = 100_000
+	}
+	if opts.Run == nil {
+		opts.Run = invisifence.Run
+	}
+	cache, err := runcache.Open(opts.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: %w", err)
+	}
+	return &Server{
+		opts:      opts,
+		cache:     cache,
+		flight:    &runcache.Flight{},
+		pool:      sweep.NewPool(opts.Workers),
+		campaigns: make(map[string]*Campaign),
+	}, nil
+}
+
+// Submit admits a validated spec as a new campaign and schedules its
+// cells. It returns errDraining once Shutdown has begun.
+func (s *Server) Submit(spec invisifence.SweepSpec, jobs []invisifence.Config) (*Campaign, error) {
+	if s.draining.Load() {
+		s.count(func(t *stats.ServerStats) { t.SpecsRefused++ })
+		return nil, errDraining
+	}
+	s.mu.Lock()
+	s.seq++
+	c := newCampaign(fmt.Sprintf("c%04d", s.seq), spec, jobs)
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	s.mu.Unlock()
+	s.count(func(t *stats.ServerStats) {
+		t.CampaignsAccepted++
+		t.CellsScheduled += uint64(len(jobs))
+	})
+	for i := range jobs {
+		s.pool.Submit(func() { s.runCell(c, i) })
+	}
+	// A zero-cell campaign (impossible via DecodeSpec, possible via the
+	// API) is terminal at birth.
+	c.checkDone()
+	return c, nil
+}
+
+// errDraining is Submit's refusal during shutdown; the HTTP layer maps it
+// to 503.
+var errDraining = fmt.Errorf("sweepd: server is draining, not accepting new sweeps")
+
+// Campaign returns the campaign with the given ID, if any.
+func (s *Server) Campaign(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// Campaigns returns all campaigns in admission order.
+func (s *Server) Campaigns() []*Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Campaign, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.campaigns[id]
+	}
+	return out
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: new specs are refused with 503, cells
+// already being simulated run to completion and persist into the cache,
+// and cells still queued are marked aborted. It returns once every
+// campaign is terminal; the caller then closes the HTTP listener.
+// Shutdown is idempotent and safe to call concurrently.
+func (s *Server) Shutdown() {
+	s.shutdown.Do(func() {
+		s.draining.Store(true)
+		// Close runs every queued task: tasks observe the draining flag
+		// and short-circuit their cell to aborted, while tasks already
+		// executing finish their simulation and publish it.
+		s.pool.Close()
+	})
+}
+
+// Stats snapshots the scheduler telemetry.
+func (s *Server) Stats() stats.ServerStats {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	return s.telem
+}
+
+func (s *Server) count(f func(*stats.ServerStats)) {
+	s.tmu.Lock()
+	f(&s.telem)
+	s.tmu.Unlock()
+}

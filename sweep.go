@@ -249,10 +249,15 @@ type SweepOutcome struct {
 	CacheStats runcache.Stats
 }
 
-// resultKey derives the canonical cache key for one run configuration.
-// Everything that can change a Result is part of cfg, so two processes
-// asking for the same cell always agree on the key.
-func resultKey(cfg Config) string { return runcache.MustKey("result", cfg) }
+// ResultKey derives the canonical content-addressed cache key for one run
+// configuration. Everything that can change a Result is part of cfg, so
+// two processes asking for the same cell always agree on the key — the
+// contract that lets cmd/sweep, Campaign, and the sweepd campaign server
+// share one cache layout and single-flight registry.
+func ResultKey(cfg Config) string { return runcache.MustKey("result", cfg) }
+
+// resultKey is the historical internal spelling of ResultKey.
+func resultKey(cfg Config) string { return ResultKey(cfg) }
 
 // Sweep expands the spec and executes every cell on a bounded worker pool,
 // serving previously-computed cells from the persistent cache. Results
