@@ -9,6 +9,14 @@
 // /sweeps/{id}/events; the finished table at /sweeps/{id}/table is
 // byte-identical to cmd/sweep run offline on the same spec.
 //
+// Campaigns are crash-safe: every accepted spec is journaled under the
+// cache directory, and a restarted sweepd on the same -cache replays the
+// journals and resumes unfinished campaigns automatically — finished
+// cells answer from the cache, so only the cells in flight at the crash
+// are re-simulated. Cells run under a watchdog deadline and are retried
+// (capped exponential backoff, -max-cell-retries attempts) before the
+// cell alone is marked failed.
+//
 // Usage:
 //
 //	sweepd -addr :8377 -cache .invisifence-cache -workers 8
@@ -17,10 +25,14 @@
 //	curl localhost:8377/sweeps/c0001                    # status + counters
 //	curl -N localhost:8377/sweeps/c0001/events          # NDJSON progress
 //	curl localhost:8377/sweeps/c0001/table              # deterministic table
+//	curl localhost:8377/healthz                         # liveness
+//	curl localhost:8377/readyz                          # readiness (503 while draining/replaying)
 //
 // SIGINT/SIGTERM drain gracefully: new specs get 503, in-flight cells
 // finish and persist, queued cells are marked aborted, and the process
-// exits 0.
+// exits 0. The drain is bounded by -graceful-timeout: if a cell outlives
+// it, the process exits anyway — the unfinished campaigns' journals make
+// the next start resume them.
 package main
 
 import (
@@ -39,20 +51,34 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
-	cacheDir := flag.String("cache", ".invisifence-cache", "persistent result cache directory (\"\" = memory-only)")
+	cacheDir := flag.String("cache", ".invisifence-cache", "persistent result cache directory (\"\" = memory-only, campaigns not journaled)")
 	workers := flag.Int("workers", defaultWorkers(), "concurrent simulations across all campaigns")
 	maxCells := flag.Int("maxcells", 0, "per-spec cell cap (0 = the server default)")
+	gracefulTimeout := flag.Duration("graceful-timeout", 30*time.Second, "hard bound on the SIGTERM drain; campaigns still unfinished at the bound are left to journal recovery (0 = wait forever)")
+	maxCellRetries := flag.Int("max-cell-retries", 2, "re-attempts for a timed-out or failed cell before the cell is marked failed (negative = no retries)")
 	flag.Parse()
 
 	srv, err := sweepd.New(sweepd.Options{
-		Workers:  *workers,
-		CacheDir: *cacheDir,
-		MaxCells: *maxCells,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		MaxCells:       *maxCells,
+		MaxCellRetries: *maxCellRetries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		os.Exit(1)
 	}
+	// Journal replay runs concurrently with serving: /healthz answers
+	// immediately, /readyz stays 503 until replay finishes and every
+	// journaled campaign is resumed.
+	go func() {
+		if err := srv.Recover(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd: journal recovery:", err)
+		}
+		if s := srv.Stats(); s.CampaignsRecovered > 0 {
+			fmt.Fprintf(os.Stderr, "sweepd: resumed %d journaled campaign(s)\n", s.CampaignsRecovered)
+		}
+	}()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -60,12 +86,15 @@ func main() {
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigs
-		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (in-flight cells finish and persist; queued cells abort)\n", sig)
-		srv.Shutdown() // returns once every campaign is terminal
+		fmt.Fprintf(os.Stderr, "sweepd: %v: draining (in-flight cells finish and persist; queued cells abort; bound %v)\n", sig, *gracefulTimeout)
+		if srv.ShutdownTimeout(*gracefulTimeout) {
+			fmt.Fprintf(os.Stderr, "sweepd: drained; %s\n", srv.Stats())
+		} else {
+			fmt.Fprintf(os.Stderr, "sweepd: drain exceeded %v; unfinished campaigns will resume from their journals; %s\n", *gracefulTimeout, srv.Stats())
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx) // then close the listener and idle conns
-		fmt.Fprintf(os.Stderr, "sweepd: drained; %s\n", srv.Stats())
 		close(done)
 	}()
 

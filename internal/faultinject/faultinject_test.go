@@ -1,0 +1,152 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoOp pins the disarmed contract: every probe on a nil
+// injector returns immediately and untouched.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.Armed() {
+		t.Fatal("nil injector reports armed")
+	}
+	if err := in.Err("site"); err != nil {
+		t.Fatalf("nil Err: %v", err)
+	}
+	in.MaybePanic("site") // must not panic
+	in.Delay("site")      // must not sleep
+	data := []byte("payload")
+	if got := in.Corrupt("site", data); !bytes.Equal(got, data) {
+		t.Fatalf("nil Corrupt changed data: %q", got)
+	}
+	if s := in.Stats(); s.Total() != 0 {
+		t.Fatalf("nil stats: %+v", s)
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) is not the disarmed injector")
+	}
+}
+
+// TestHitWindow pins the [After, After+Count) firing semantics.
+func TestHitWindow(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{{Site: "s", Kind: KindError, After: 2, Count: 2}}})
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		fired = append(fired, in.Err("s") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("firing pattern %v, want %v", fired, want)
+	}
+	if s := in.Stats(); s.Errors != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestKindsAreIndependent checks a site's error rule never answers its
+// delay/panic/corrupt probes, and vice versa.
+func TestKindsAreIndependent(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{{Site: "s", Kind: KindError}}})
+	in.MaybePanic("s")
+	in.Delay("s")
+	data := []byte("x")
+	if got := in.Corrupt("s", data); !bytes.Equal(got, data) {
+		t.Fatal("error rule fired a corrupt probe")
+	}
+	if err := in.Err("s"); err == nil {
+		t.Fatal("error rule did not fire its own probe")
+	}
+	var ie *InjectedError
+	if err := New(&Plan{Rules: []Rule{{Site: "t", Kind: KindError}}}).Err("t"); !errors.As(err, &ie) || ie.Site != "t" {
+		t.Fatalf("injected error type: %v", err)
+	}
+}
+
+// TestPanicValue checks MaybePanic panics with the typed value.
+func TestPanicValue(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{{Site: "s", Kind: KindPanic}}})
+	defer func() {
+		p := recover()
+		ie, ok := p.(*InjectedError)
+		if !ok || ie.Site != "s" || ie.Kind != KindPanic {
+			t.Fatalf("panic value: %v", p)
+		}
+		if s := in.Stats(); s.Panics != 1 {
+			t.Fatalf("stats: %+v", s)
+		}
+	}()
+	in.MaybePanic("s")
+}
+
+// TestDelayUsesSleeper checks Delay routes through the injectable sleeper
+// with the rule's duration.
+func TestDelayUsesSleeper(t *testing.T) {
+	in := New(&Plan{Rules: []Rule{{Site: "s", Kind: KindDelay, Delay: 5 * time.Millisecond}}})
+	var slept time.Duration
+	in.SetSleep(func(d time.Duration) { slept += d })
+	in.Delay("s")
+	in.Delay("s") // window exhausted: no second sleep
+	if slept != 5*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+	if s := in.Stats(); s.Delays != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestCorruptIsDeterministicCopy checks corruption flips bytes in a copy,
+// never the caller's slice, and that the same seed flips the same bytes.
+func TestCorruptIsDeterministicCopy(t *testing.T) {
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	corrupt := func() []byte {
+		in := New(&Plan{Seed: 42, Rules: []Rule{{Site: "s", Kind: KindCorrupt}}})
+		data := append([]byte(nil), orig...)
+		out := in.Corrupt("s", data)
+		if !bytes.Equal(data, orig) {
+			t.Fatal("Corrupt mutated the caller's slice")
+		}
+		return out
+	}
+	a, b := corrupt(), corrupt()
+	if bytes.Equal(a, orig) {
+		t.Fatal("corruption did not change the payload")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	// Empty payloads pass through.
+	in := New(&Plan{Rules: []Rule{{Site: "s", Kind: KindCorrupt}}})
+	if got := in.Corrupt("s", nil); got != nil {
+		t.Fatalf("corrupting nil: %q", got)
+	}
+}
+
+// TestRandomPlanDeterminism pins RandomPlan: same seed, same plan; a
+// different seed diverges somewhere over the chaos seed list.
+func TestRandomPlanDeterminism(t *testing.T) {
+	sites := []string{"a", "b", "c", "d"}
+	p1, p2 := RandomPlan(7, sites), RandomPlan(7, sites)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different plans")
+	}
+	diverged := false
+	for seed := int64(0); seed < 16; seed++ {
+		if !reflect.DeepEqual(RandomPlan(seed, sites), p1) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("every seed produced the same plan")
+	}
+	for _, r := range p1.Rules {
+		if r.Count <= 0 || r.Site == "" || r.Kind < KindError || r.Kind > KindCorrupt {
+			t.Fatalf("malformed rule: %+v", r)
+		}
+	}
+}

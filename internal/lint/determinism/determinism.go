@@ -10,6 +10,13 @@
 // constructors (and all methods on a *rand.Rand) pass. A finding that is
 // provably order-independent can be annotated with
 // "//lint:allow determinism <reason>" on its line or the line above.
+//
+// A second, narrower tier covers the clocked packages (sweepd): they are
+// allowed randomness and map iteration, but every wall-clock read must go
+// through the package's injectable Clock so watchdog deadlines and retry
+// backoff stay testable — naked time.Now/time.Since/time.Sleep/time.After
+// is a finding there. The Clock implementation itself carries the one
+// sanctioned "//lint:allow determinism" annotation.
 package determinism
 
 import (
@@ -31,6 +38,18 @@ var deterministicPkgs = map[string]bool{
 	"staticfence": true,
 }
 
+// clockedPkgs names the packages that must take time from an injectable
+// Clock rather than the wall directly. They are not deterministic — a
+// server's schedule depends on real concurrency — but their timeout and
+// backoff logic must be drivable by a test double.
+var clockedPkgs = map[string]bool{
+	"sweepd": true,
+}
+
+// clockedForbidden lists the package-level time functions a clocked
+// package must route through its Clock.
+var clockedForbidden = map[string]bool{"Now": true, "Since": true, "Until": true, "Sleep": true, "After": true, "Tick": true, "NewTimer": true, "NewTicker": true}
+
 // randAllowed lists math/rand package-level constructors that are fine:
 // they only wrap an explicit seed.
 var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
@@ -38,21 +57,29 @@ var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": tru
 // Analyzer is the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc:  "forbid time.Now, global math/rand, and map-range iteration in deterministic packages (sim, network, coherence, fencesearch, sweep, staticfence)",
+	Doc:  "forbid time.Now, global math/rand, and map-range iteration in deterministic packages (sim, network, coherence, fencesearch, sweep, staticfence); forbid naked time calls in clocked packages (sweepd)",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
-	if !deterministicPkgs[path.Base(pass.Pkg.Path())] && !deterministicPkgs[pass.Pkg.Name()] {
+	deterministic := deterministicPkgs[path.Base(pass.Pkg.Path())] || deterministicPkgs[pass.Pkg.Name()]
+	clocked := clockedPkgs[path.Base(pass.Pkg.Path())] || clockedPkgs[pass.Pkg.Name()]
+	if !deterministic && !clocked {
 		return nil
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				checkCall(pass, n)
+				if deterministic {
+					checkCall(pass, n)
+				} else {
+					checkClockedCall(pass, n)
+				}
 			case *ast.RangeStmt:
-				checkRange(pass, n)
+				if deterministic {
+					checkRange(pass, n)
+				}
 			}
 			return true
 		})
@@ -60,7 +87,8 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+// callTarget resolves the called function, if it can be named.
+func callTarget(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch e := call.Fun.(type) {
 	case *ast.SelectorExpr:
@@ -68,10 +96,18 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	case *ast.Ident:
 		id = e
 	default:
-		return
+		return nil
 	}
 	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	return fn
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := callTarget(pass, call)
+	if fn == nil {
 		return
 	}
 	switch fn.Pkg().Path() {
@@ -89,6 +125,22 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		}
 		pass.Reportf(call.Pos(), "call to global math/rand.%s in deterministic package %s: use rand.New(rand.NewSource(seed))", fn.Name(), pass.Pkg.Name())
 	}
+}
+
+// checkClockedCall enforces the clocked-package rule: every wall-clock
+// read or timer goes through the injectable Clock.
+func checkClockedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := callTarget(pass, call)
+	if fn == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on a time.Time/Timer value are fine
+	}
+	if !clockedForbidden[fn.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(), "naked time.%s in clocked package %s: go through the injectable Clock (Options.Clock) so deadlines and backoff are testable", fn.Name(), pass.Pkg.Name())
 }
 
 func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {

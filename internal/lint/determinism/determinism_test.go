@@ -10,3 +10,10 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer)
 }
+
+// TestClockedPackage exercises the clocked tier: the fixture package is
+// named sweepd, so naked time calls are findings while rand and
+// map-range (deterministic-tier bans) pass.
+func TestClockedPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/clock", determinism.Analyzer)
+}

@@ -1,0 +1,49 @@
+// Package sweepd stands in for a clocked package (matched by package
+// name) to exercise the determinism analyzer's clocked-package tier:
+// wall-clock reads must go through the injectable Clock, but seeded
+// randomness and map iteration — forbidden in the deterministic tier —
+// are allowed here.
+package sweepd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func nakedNowBad() int64 {
+	t := time.Now() // want `naked time\.Now in clocked package sweepd`
+	return t.Unix()
+}
+
+func nakedSinceBad(start time.Time) time.Duration {
+	return time.Since(start) // want `naked time\.Since in clocked package sweepd`
+}
+
+func nakedSleepBad() {
+	time.Sleep(time.Millisecond) // want `naked time\.Sleep in clocked package sweepd`
+}
+
+func nakedAfterBad() <-chan time.Time {
+	return time.After(time.Second) // want `naked time\.After in clocked package sweepd`
+}
+
+func sanctionedClockImplOK() time.Time {
+	return time.Now() //lint:allow determinism the injectable clock's single wall-clock read
+}
+
+func timeMethodsOK(t time.Time, d time.Duration) bool {
+	// Duration arithmetic and time.Time methods are pure; only the
+	// package-level wall-clock and timer functions are findings —
+	// t.After here is a method on time.Time, not time.After.
+	return t.Add(2 * d).After(t)
+}
+
+func randAndMapsOKHere(m map[int]int) int {
+	// The clocked tier does not inherit the deterministic tier's rand and
+	// map-range bans: a server's schedule is inherently concurrent.
+	sum := rand.Intn(4)
+	for k, v := range m {
+		sum += k * v
+	}
+	return sum
+}

@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"invisifence/internal/faultinject"
 )
+
+// SiteLeader fires in the flight leader just before it executes its
+// function (panic = a poisoned computation, delay = a slow leader
+// stalling its followers) when an injector is armed.
+const SiteLeader = "flight.leader"
 
 // FlightStats counts single-flight traffic since NewFlight.
 type FlightStats struct {
@@ -62,10 +69,16 @@ type call struct {
 //
 // The zero Flight is ready to use.
 type Flight struct {
+	inj *faultinject.Injector
+
 	mu       sync.Mutex
 	inflight map[string]*call
 	stats    FlightStats
 }
+
+// SetInjector arms fault injection at the leader seam (nil keeps the
+// disarmed no-op). Call before first use.
+func (f *Flight) SetInjector(in *faultinject.Injector) { f.inj = in }
 
 // Do returns the result of computing fn for key, executing it at most
 // once across all concurrent callers of the same key. shared reports
@@ -98,6 +111,10 @@ func (f *Flight) Do(key string, fn func() (any, error)) (v any, shared bool, err
 				f.mu.Unlock()
 			}
 		}()
+		// Inside the recovery window: an injected leader panic takes the
+		// exact path an organic one would.
+		f.inj.Delay(SiteLeader)
+		f.inj.MaybePanic(SiteLeader)
 		c.val, c.err = fn()
 	}()
 

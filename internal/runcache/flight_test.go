@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"invisifence/internal/faultinject"
 )
 
 func TestFlightDedupesConcurrentCallers(t *testing.T) {
@@ -206,5 +208,31 @@ func TestFlightInFlightRegistry(t *testing.T) {
 	wg.Wait()
 	if keys := f.InFlight(); len(keys) != 0 {
 		t.Fatalf("registry after completion: %v", keys)
+	}
+}
+
+// TestFlightInjectedLeaderPanic checks an injected leader panic takes
+// the organic panic path: recovered, counted, surfaced as *PanicError
+// to leader and followers, and the flight is re-runnable afterwards.
+func TestFlightInjectedLeaderPanic(t *testing.T) {
+	var f Flight
+	f.SetInjector(faultinject.New(&faultinject.Plan{
+		Rules: []faultinject.Rule{{Site: SiteLeader, Kind: faultinject.KindPanic}},
+	}))
+	_, _, err := f.Do("k", func() (any, error) { return 1, nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic surfaced as %v", err)
+	}
+	if p, ok := pe.Value.(*faultinject.InjectedError); !ok || p.Site != SiteLeader {
+		t.Fatalf("panic value: %v", pe.Value)
+	}
+	if s := f.Stats(); s.Panics != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// The rule's window is exhausted; the next flight succeeds.
+	v, _, err := f.Do("k", func() (any, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("flight after injection: v=%v err=%v", v, err)
 	}
 }

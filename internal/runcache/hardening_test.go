@@ -1,0 +1,192 @@
+package runcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"invisifence/internal/faultinject"
+)
+
+// TestCorruptEntryQuarantined checks a bit-flipped disk entry is caught
+// by the checksum, moved into the quarantine sidecar, and reported as a
+// miss the caller can re-simulate.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	key := MustKey("quarantine-me")
+	if err := c.Put(key, fakeResult{Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, key[:2], key+".json")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xff // flip a payload byte under the checksum
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := Open(dir)
+	var out fakeResult
+	if ok, _ := c2.Get(key, &out); ok {
+		t.Fatal("corrupt entry reported as hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still satisfiable at its cache path")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key+".json")); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	s := c2.Stats()
+	if s.Quarantined != 1 || s.Misses != 1 || s.Errors == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// The slot is reusable: a fresh Put round-trips again.
+	if err := c2.Put(key, fakeResult{Cycles: 8}); err != nil {
+		t.Fatal(err)
+	}
+	c3, _ := Open(dir)
+	if ok, _ := c3.Get(key, &out); !ok || out.Cycles != 8 {
+		t.Fatalf("re-put after quarantine: ok=%v out=%+v", ok, out)
+	}
+}
+
+// TestLegacyEntryQuarantined checks pre-checksum cache files (bare JSON,
+// no checksum line) fail verification and are quarantined rather than
+// trusted.
+func TestLegacyEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := MustKey("legacy")
+	p := filepath.Join(dir, key[:2], key+".json")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(`{"cycles":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Open(dir)
+	var out fakeResult
+	if ok, _ := c.Get(key, &out); ok {
+		t.Fatal("legacy un-checksummed entry reported as hit")
+	}
+	if s := c.Stats(); s.Quarantined != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestInjectedReadCorruptionQuarantines drives the same path through the
+// fault injector instead of hand-edited files.
+func TestInjectedReadCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	key := MustKey("inj-corrupt")
+	if err := c.Put(key, fakeResult{Cycles: 5}); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Open(dir)
+	c2.SetInjector(faultinject.New(&faultinject.Plan{
+		Seed:  1,
+		Rules: []faultinject.Rule{{Site: SiteRead, Kind: faultinject.KindCorrupt}},
+	}))
+	var out fakeResult
+	if ok, _ := c2.Get(key, &out); ok {
+		t.Fatal("injected corruption reported as hit")
+	}
+	if s := c2.Stats(); s.Quarantined != 1 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestInjectedReadErrorIsMiss checks an injected read failure surfaces as
+// a counted miss, never an error to the caller.
+func TestInjectedReadErrorIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	key := MustKey("inj-read-err")
+	if err := c.Put(key, fakeResult{Cycles: 5}); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Open(dir)
+	c2.SetInjector(faultinject.New(&faultinject.Plan{
+		Rules: []faultinject.Rule{{Site: SiteRead, Kind: faultinject.KindError}},
+	}))
+	var out fakeResult
+	ok, err := c2.Get(key, &out)
+	if ok || err != nil {
+		t.Fatalf("injected read error: ok=%v err=%v", ok, err)
+	}
+	// The rule's window is exhausted: the next read succeeds.
+	if ok, _ := c2.Get(key, &out); !ok || out.Cycles != 5 {
+		t.Fatalf("read after injection window: ok=%v out=%+v", ok, out)
+	}
+}
+
+// TestDegradedModeAfterWriteErrors checks degradedAfter consecutive
+// injected write failures flip the cache into disk-bypass mode: Puts
+// stop erroring, land in memory only, and are counted as bypassed.
+func TestDegradedModeAfterWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	c.SetInjector(faultinject.New(&faultinject.Plan{
+		Rules: []faultinject.Rule{{Site: SiteWrite, Kind: faultinject.KindError, Count: degradedAfter}},
+	}))
+	var ie *faultinject.InjectedError
+	for i := 0; i < degradedAfter; i++ {
+		if c.Degraded() {
+			t.Fatalf("degraded after only %d write errors", i)
+		}
+		err := c.Put(MustKey("w", i), fakeResult{Cycles: uint64(i)})
+		if !errors.As(err, &ie) {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatal("not degraded after threshold")
+	}
+	key := MustKey("bypassed")
+	if err := c.Put(key, fakeResult{Cycles: 99}); err != nil {
+		t.Fatalf("degraded Put errored: %v", err)
+	}
+	// In-memory layer still serves the value...
+	var out fakeResult
+	if ok, _ := c.Get(key, &out); !ok || out.Cycles != 99 {
+		t.Fatalf("degraded mem read: ok=%v out=%+v", ok, out)
+	}
+	// ...but the disk was never touched.
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key+".json")); !os.IsNotExist(err) {
+		t.Fatal("degraded Put reached the disk")
+	}
+	s := c.Stats()
+	if !s.Degraded || s.WriteErrors != degradedAfter || s.PutsBypassed != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if !strings.Contains(s.String(), "DEGRADED") {
+		t.Fatalf("stats string hides degradation: %q", s.String())
+	}
+}
+
+// TestTransientWriteErrorDoesNotDegrade checks the consecutive-failure
+// counter resets on success, so isolated blips never flip the mode.
+func TestTransientWriteErrorDoesNotDegrade(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	// Fail write #0 and #2; succeed in between — never two in a row.
+	c.SetInjector(faultinject.New(&faultinject.Plan{
+		Rules: []faultinject.Rule{
+			{Site: SiteWrite, Kind: faultinject.KindError, After: 0},
+			{Site: SiteWrite, Kind: faultinject.KindError, After: 2},
+		},
+	}))
+	for i := 0; i < 6; i++ {
+		c.Put(MustKey("t", i), fakeResult{Cycles: uint64(i)})
+	}
+	if c.Degraded() {
+		t.Fatal("transient write errors degraded the cache")
+	}
+	if s := c.Stats(); s.WriteErrors != 2 || s.PutsBypassed != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

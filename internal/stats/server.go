@@ -17,6 +17,12 @@ type ServerStats struct {
 	CampaignsAccepted  uint64 `json:"campaigns_accepted"`
 	CampaignsCompleted uint64 `json:"campaigns_completed"`
 	CampaignsFailed    uint64 `json:"campaigns_failed"`
+	// CampaignsRecovered counts campaigns re-admitted from their durable
+	// journal after a restart (DESIGN.md §14).
+	CampaignsRecovered uint64 `json:"campaigns_recovered"`
+	// JournalErrors counts journals that could not be opened, replayed,
+	// or resumed (set aside as .bad files).
+	JournalErrors uint64 `json:"journal_errors"`
 	// SpecsRejected counts malformed or invalid specs (400s);
 	// SpecsRefused counts specs turned away by a draining server (503s).
 	SpecsRejected uint64 `json:"specs_rejected"`
@@ -34,12 +40,25 @@ type ServerStats struct {
 	CellsDeduped   uint64 `json:"cells_deduped"`
 	CellsFailed    uint64 `json:"cells_failed"`
 	CellsAborted   uint64 `json:"cells_aborted"`
+	// CellRetries counts cell attempts beyond each cell's first;
+	// CellTimeouts counts attempts cut off by the watchdog deadline.
+	// Neither is terminal: a retried or timed-out cell still ends in
+	// exactly one of the five states above.
+	CellRetries  uint64 `json:"cell_retries"`
+	CellTimeouts uint64 `json:"cell_timeouts"`
 }
 
 // String renders the stats for log output.
 func (s ServerStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"campaigns: %d accepted (%d completed, %d failed, %d rejected, %d refused); cells: %d scheduled (%d cached, %d simulated, %d deduped, %d failed, %d aborted)",
 		s.CampaignsAccepted, s.CampaignsCompleted, s.CampaignsFailed, s.SpecsRejected, s.SpecsRefused,
 		s.CellsScheduled, s.CellsCached, s.CellsSimulated, s.CellsDeduped, s.CellsFailed, s.CellsAborted)
+	if s.CellRetries > 0 || s.CellTimeouts > 0 {
+		out += fmt.Sprintf("; %d retries, %d timeouts", s.CellRetries, s.CellTimeouts)
+	}
+	if s.CampaignsRecovered > 0 || s.JournalErrors > 0 {
+		out += fmt.Sprintf("; %d recovered, %d journal errors", s.CampaignsRecovered, s.JournalErrors)
+	}
+	return out
 }

@@ -2,7 +2,14 @@ package sweep
 
 import (
 	"sync"
+
+	"invisifence/internal/faultinject"
 )
+
+// SiteWorker fires in a pool worker just before it executes a task
+// (delay = a stalled worker, exercising the stealing and watchdog
+// paths) when an injector is armed.
+const SiteWorker = "pool.worker"
 
 // Task is one unit of pool work. Tasks carry their own context via
 // closure; the pool never inspects them.
@@ -35,6 +42,8 @@ type PoolStats struct {
 // is nondeterministic; callers that need deterministic output must index
 // results by task identity (as Run does), never by completion order.
 type Pool struct {
+	inj *faultinject.Injector
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues [][]Task // one FIFO per worker; workers steal from the back
@@ -62,6 +71,10 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return len(p.queues) }
+
+// SetInjector arms fault injection at the worker seam (nil keeps the
+// disarmed no-op). Call before submitting work.
+func (p *Pool) SetInjector(in *faultinject.Injector) { p.inj = in }
 
 // Submit enqueues a task and reports whether the pool accepted it
 // (false after Close/Stop). Safe from any goroutine.
@@ -174,6 +187,7 @@ func (p *Pool) worker(w int) {
 		}
 		p.active++
 		p.mu.Unlock()
+		p.inj.Delay(SiteWorker)
 		t()
 		p.mu.Lock()
 		p.active--

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"invisifence/internal/faultinject"
 )
 
 func TestPoolRunsEverySubmittedTask(t *testing.T) {
@@ -151,5 +153,33 @@ func TestPoolSubmitFromTask(t *testing.T) {
 	p.Drain()
 	if ran.Load() != 2 {
 		t.Fatalf("nested submit: %d tasks ran", ran.Load())
+	}
+}
+
+// TestPoolInjectedWorkerDelay checks an armed injector stalls a worker
+// without losing work: all tasks still complete, and the injectable
+// sleeper records the stall.
+func TestPoolInjectedWorkerDelay(t *testing.T) {
+	in := faultinject.New(&faultinject.Plan{
+		Rules: []faultinject.Rule{{Site: SiteWorker, Kind: faultinject.KindDelay, Delay: 3 * time.Millisecond, Count: 2}},
+	})
+	var slept atomic.Int64
+	in.SetSleep(func(d time.Duration) { slept.Add(int64(d)) })
+	p := NewPool(2)
+	p.SetInjector(in)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	p.Drain()
+	p.Close()
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d tasks", ran.Load())
+	}
+	if slept.Load() != int64(6*time.Millisecond) {
+		t.Fatalf("slept %v", time.Duration(slept.Load()))
+	}
+	if s := in.Stats(); s.Delays != 2 {
+		t.Fatalf("injector stats: %+v", s)
 	}
 }

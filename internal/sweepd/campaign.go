@@ -55,6 +55,13 @@ type Campaign struct {
 	jobs []invisifence.Config
 	keys []string
 
+	// jl is the campaign's durable journal (nil when journaling is
+	// disabled); resumed marks a campaign re-admitted from a journal by
+	// Recover. Both are set before any cell is scheduled and never
+	// change.
+	jl      *journal
+	resumed bool
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	states   []cellState
@@ -62,6 +69,7 @@ type Campaign struct {
 	errs     []string
 	counts   CellCounts
 	events   []Event
+	retries  int
 	finished bool
 	// counted marks the campaign's terminal telemetry as applied
 	// (finishCampaign runs once per campaign).
@@ -90,6 +98,18 @@ func newCampaign(id string, spec invisifence.SweepSpec, jobs []invisifence.Confi
 // ID returns the campaign's server-assigned identifier.
 func (c *Campaign) ID() string { return c.id }
 
+// journal appends one record to the campaign's WAL (no-op when
+// journaling is disabled).
+func (c *Campaign) journal(r journalRecord) { c.jl.record(r) }
+
+// noteRetry counts one scheduled cell retry and journals it.
+func (c *Campaign) noteRetry(i int) {
+	c.mu.Lock()
+	c.retries++
+	c.mu.Unlock()
+	c.jl.record(journalRecord{T: recRetry, Cell: i})
+}
+
 // transition moves cell i to state to, recording the result or error
 // that terminal states carry, and appends the corresponding event.
 func (c *Campaign) transition(i int, to cellState, res *invisifence.Result, errMsg string) {
@@ -111,9 +131,18 @@ func (c *Campaign) transition(i int, to cellState, res *invisifence.Result, errM
 		c.errs[i] = errMsg
 	}
 	c.appendEventLocked(Event{Cell: i, State: to.String()})
+	if to.terminal() {
+		// The result (if any) is already in the cache — Put precedes the
+		// flight release, which precedes this transition — so the WAL
+		// only needs the state: replay answers the cell from the cache.
+		c.jl.record(journalRecord{T: recCell, Cell: i, State: to.String(), Err: errMsg})
+	}
 	if !c.finished && c.counts.terminalLocked() {
 		c.finished = true
 		c.appendEventLocked(Event{Cell: -1, State: "campaign " + c.stateLocked()})
+		// Terminal campaigns owe no recovery: seal and remove the WAL.
+		c.jl.record(journalRecord{T: recDone, State: c.stateLocked()})
+		c.jl.retire()
 	}
 	c.cond.Broadcast()
 }
@@ -134,6 +163,8 @@ func (c *Campaign) checkDone() {
 	if !c.finished && c.counts.terminalLocked() {
 		c.finished = true
 		c.appendEventLocked(Event{Cell: -1, State: "campaign " + c.stateLocked()})
+		c.jl.record(journalRecord{T: recDone, State: c.stateLocked()})
+		c.jl.retire()
 		c.cond.Broadcast()
 	}
 }
@@ -156,7 +187,10 @@ func (c *Campaign) stateLocked() string {
 func (c *Campaign) Status() StatusResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := StatusResponse{ID: c.id, State: c.stateLocked(), Cells: c.counts}
+	st := StatusResponse{
+		ID: c.id, State: c.stateLocked(), Cells: c.counts,
+		Retries: c.retries, Resumed: c.resumed,
+	}
 	for i, msg := range c.errs {
 		if msg != "" {
 			cfg := c.jobs[i]

@@ -1,0 +1,215 @@
+package sweepd
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"invisifence"
+	"invisifence/internal/faultinject"
+	"invisifence/internal/runcache"
+	"invisifence/internal/sweep"
+)
+
+// chaosSeeds is the pinned seed list CI runs under -race: each seed is a
+// deterministic fault schedule over every injection seam.
+var chaosSeeds = []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// chaosSites is every seam the fault framework arms.
+var chaosSites = []string{
+	runcache.SiteRead, runcache.SiteWrite, runcache.SiteLeader,
+	sweep.SiteWorker, SiteCell,
+}
+
+// TestChaosSuite drives the server through the pinned fault schedules —
+// cache I/O errors, corrupt entries, leader panics, slow workers, slow
+// and failing cells — and holds the robustness invariants: no plan
+// panics the server, every campaign reaches a terminal state, terminal
+// counters sum to the cell total, and any campaign that reports success
+// renders a table byte-identical to the fault-free run.
+func TestChaosSuite(t *testing.T) {
+	spec := tinySpec()
+	spec.Variants = []string{"sc", "invisi-sc"}
+	spec.Seeds = []int64{1, 2, 3} // 6 cells
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fault-free baseline table every successful chaos campaign must
+	// reproduce exactly.
+	baseline := chaosTable(t, Options{Workers: 4, Run: chaosRun}, spec)
+
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := faultinject.RandomPlan(seed, chaosSites)
+			srv, err := New(Options{
+				Workers:        4,
+				CacheDir:       t.TempDir(),
+				MaxCellRetries: 4,
+				RetryBackoff:   time.Millisecond,
+				CellTimeout:    -1, // injected delays are real sleeps; no false timeouts
+				Faults:         plan,
+				Run:            chaosRun,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Shutdown()
+			c, err := srv.Submit(spec, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitFinished(t, c)
+			st := c.Status()
+
+			// Terminal, and the terminal counters account for every cell.
+			if st.State == "running" {
+				t.Fatalf("campaign not terminal: %+v", st)
+			}
+			cc := st.Cells
+			if sum := cc.Cached + cc.Simulated + cc.Deduped + cc.Failed + cc.Aborted; sum != cc.Total || cc.Total != len(jobs) {
+				t.Fatalf("counters do not sum to total: %+v", cc)
+			}
+			if cc.Queued != 0 || cc.Running != 0 {
+				t.Fatalf("terminal campaign with live gauges: %+v", cc)
+			}
+
+			// A successful campaign is indistinguishable from a fault-free
+			// one at the API: byte-identical table.
+			if st.State == "done" {
+				ts := httptest.NewServer(srv.Handler())
+				if got := getTable(t, ts.URL, c.ID()); got != baseline {
+					t.Fatalf("seed %d: successful campaign's table diverged from fault-free run:\n%q\nvs\n%q", seed, got, baseline)
+				}
+				ts.Close()
+			}
+
+			// The telemetry surface stays coherent under faults.
+			s := srv.Stats()
+			if s.CellsCached+s.CellsSimulated+s.CellsDeduped+s.CellsFailed+s.CellsAborted != s.CellsScheduled {
+				t.Fatalf("server cell counters do not sum: %+v", s)
+			}
+			if fired := srv.inj.Stats(); fired.Total() == 0 && len(plan.Rules) > 0 {
+				t.Logf("seed %d: plan armed %d rules, none fired", seed, len(plan.Rules))
+			}
+		})
+	}
+}
+
+// chaosRun is the chaos suite's cell implementation: a deterministic
+// function of the config, so tables are comparable across servers.
+func chaosRun(cfg invisifence.Config) (invisifence.Result, error) {
+	return fakeResult(cfg), nil
+}
+
+// chaosTable runs one campaign to completion on a fresh server and
+// returns its rendered table.
+func chaosTable(t *testing.T, opts Options, spec invisifence.SweepSpec) string {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	id := postSpec(t, ts.URL, spec)
+	if st := pollDone(t, ts.URL, id); st.State != "done" {
+		t.Fatalf("baseline campaign: %+v", st)
+	}
+	return getTable(t, ts.URL, id)
+}
+
+// TestChaosRecovery layers a crash on top of a fault plan: a campaign
+// admitted under injected faults is abandoned mid-flight, recovered by a
+// second (fault-free) server on the same cache dir, and must complete
+// with the fault-free table — injected corruption in the first process
+// cannot poison the resumed run, because corrupt entries are quarantined
+// and re-simulated.
+func TestChaosRecovery(t *testing.T) {
+	spec := tinySpec()
+	spec.Variants, spec.Seeds = []string{"sc"}, []int64{1, 2, 3, 4}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := chaosTable(t, Options{Workers: 4, Run: chaosRun}, spec)
+
+	for _, seed := range chaosSeeds[:4] {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			// The last cell wedges in server 1, so the campaign (almost)
+			// never finishes before the crash — unless injected faults
+			// fail that cell outright, in which case there is nothing
+			// left to recover and the seed degenerates to the plain
+			// chaos invariants.
+			release := make(chan struct{})
+			releaseOnce := sync.OnceFunc(func() { close(release) })
+			srv1, err := New(Options{
+				Workers:        2,
+				CacheDir:       dir,
+				MaxCellRetries: 1,
+				RetryBackoff:   time.Millisecond,
+				Faults:         faultinject.RandomPlan(seed, chaosSites),
+				Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+					if cfg.Seed == 4 {
+						<-release
+					}
+					return fakeResult(cfg), nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Release the wedge and drain the abandoned server before the
+			// temp dir is removed: the freed goroutine writes to the cache.
+			t.Cleanup(func() { releaseOnce(); srv1.ShutdownTimeout(time.Minute) })
+			c1, err := srv1.Submit(spec, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Let the campaign make some progress, then "crash": abandon
+			// srv1 without draining.
+			deadline := time.Now().Add(time.Minute)
+			for c1.Status().Cells.Queued == len(jobs) && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+
+			srv2, err := New(Options{Workers: 4, CacheDir: dir, Run: chaosRun})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv2.Shutdown()
+			if err := srv2.Recover(); err != nil {
+				// The only sanctioned failure: server 1 finished the
+				// campaign and retired the journal mid-recovery.
+				if !c1.Finished() {
+					t.Fatal(err)
+				}
+				return
+			}
+			c2, ok := srv2.Campaign(c1.ID())
+			if !ok {
+				// The first process finished (and retired the journal)
+				// before the crash; nothing owed.
+				if !c1.Finished() {
+					t.Fatalf("campaign %s neither finished nor recovered", c1.ID())
+				}
+				return
+			}
+			waitFinished(t, c2)
+			st := c2.Status()
+			if st.State != "done" || !st.Resumed {
+				t.Fatalf("recovered campaign: %+v", st)
+			}
+			ts := httptest.NewServer(srv2.Handler())
+			defer ts.Close()
+			if got := getTable(t, ts.URL, c2.ID()); got != baseline {
+				t.Fatalf("seed %d: recovered table diverged:\n%q\nvs\n%q", seed, got, baseline)
+			}
+		})
+	}
+}

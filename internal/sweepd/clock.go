@@ -1,0 +1,29 @@
+package sweepd
+
+import "time"
+
+// Clock is the server's only source of time. Every retry backoff,
+// watchdog deadline, and drain bound goes through it, so chaos tests
+// substitute a manual clock and replay timeout schedules
+// deterministically (the determinism lint forbids naked time.Now in
+// this package).
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives after d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production Clock: plain wall-clock time.
+type realClock struct{}
+
+// realClock's three methods are the package's only sanctioned naked time
+// calls: everything else must go through a Clock value.
+
+func (realClock) Now() time.Time { return time.Now() } //lint:allow determinism the injectable clock's wall-clock read
+
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) } //lint:allow determinism the injectable clock's sleep
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) } //lint:allow determinism the injectable clock's timer

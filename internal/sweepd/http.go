@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"invisifence"
+	"invisifence/internal/faultinject"
 	"invisifence/internal/runcache"
 	"invisifence/internal/stats"
 	"invisifence/internal/sweep"
@@ -52,8 +53,13 @@ type StatusResponse struct {
 	// State is "running" until every cell is terminal, then "done"
 	// (all cells carry results), "failed" (>= 1 failed cell), or
 	// "aborted" (>= 1 cell abandoned by shutdown).
-	State    string        `json:"state"`
-	Cells    CellCounts    `json:"cells"`
+	State string     `json:"state"`
+	Cells CellCounts `json:"cells"`
+	// Retries counts cell attempts beyond the first across the campaign;
+	// Resumed marks a campaign re-admitted from its journal after a
+	// restart.
+	Retries  int           `json:"retries,omitempty"`
+	Resumed  bool          `json:"resumed,omitempty"`
 	Failures []CellFailure `json:"failures,omitempty"`
 }
 
@@ -74,15 +80,20 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// StatszResponse is the /statsz telemetry snapshot.
+// StatszResponse is the /statsz telemetry snapshot. Cache carries the
+// quarantine/degraded counters, Pool the steal/drop counters, Server the
+// retry/timeout/recovery counters, and Faults the fired-fault counters
+// of an armed injection plan (all zero in production).
 type StatszResponse struct {
-	Server   stats.ServerStats    `json:"server"`
-	Cache    runcache.Stats       `json:"cache"`
-	Flight   runcache.FlightStats `json:"flight"`
-	Pool     sweep.PoolStats      `json:"pool"`
-	InFlight []string             `json:"in_flight,omitempty"`
-	Workers  int                  `json:"workers"`
-	Draining bool                 `json:"draining"`
+	Server    stats.ServerStats    `json:"server"`
+	Cache     runcache.Stats       `json:"cache"`
+	Flight    runcache.FlightStats `json:"flight"`
+	Pool      sweep.PoolStats      `json:"pool"`
+	Faults    faultinject.Stats    `json:"faults"`
+	InFlight  []string             `json:"in_flight,omitempty"`
+	Workers   int                  `json:"workers"`
+	Draining  bool                 `json:"draining"`
+	Replaying bool                 `json:"replaying"`
 }
 
 // maxSpecBytes bounds a POST /sweeps body.
@@ -169,6 +180,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /sweeps/{id}/table", s.handleTable)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
 }
@@ -292,23 +304,40 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealth is pure liveness: the process answers, so it is alive.
+// Readiness (draining, journal replay) lives on /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Draining() {
-		fmt.Fprintln(w, "draining")
-		return
-	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady reports whether the server should receive traffic: 503
+// while journal replay is in progress (resumed campaigns are still
+// being re-admitted) or while draining (new specs would be refused).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.Draining():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.Replaying():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "replaying")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StatszResponse{
-		Server:   s.Stats(),
-		Cache:    s.cache.Stats(),
-		Flight:   s.flight.Stats(),
-		Pool:     s.pool.Stats(),
-		InFlight: s.flight.InFlight(),
-		Workers:  s.pool.Workers(),
-		Draining: s.Draining(),
+		Server:    s.Stats(),
+		Cache:     s.cache.Stats(),
+		Flight:    s.flight.Stats(),
+		Pool:      s.pool.Stats(),
+		Faults:    s.inj.Stats(),
+		InFlight:  s.flight.InFlight(),
+		Workers:   s.pool.Workers(),
+		Draining:  s.Draining(),
+		Replaying: s.Replaying(),
 	})
 }

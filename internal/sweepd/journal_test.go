@@ -1,0 +1,119 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"invisifence"
+)
+
+// walLines encodes records as journal bytes.
+func walLines(t *testing.T, recs ...journalRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReplayJournalReducesRecords pins the replay semantics: the spec
+// record identifies the campaign, start-without-cell means in flight,
+// duplicated terminal records are idempotent, and cell index 0
+// round-trips (no omitempty on Cell).
+func TestReplayJournalReducesRecords(t *testing.T) {
+	spec := tinySpec()
+	data := walLines(t,
+		journalRecord{T: recSpec, ID: "c0003", Spec: &spec},
+		journalRecord{T: recStart, Cell: 0, Attempt: 0},
+		journalRecord{T: recStart, Cell: 1, Attempt: 0},
+		journalRecord{T: recCell, Cell: 0, State: "simulated"},
+		journalRecord{T: recRetry, Cell: 1},
+		journalRecord{T: recStart, Cell: 1, Attempt: 1},
+		journalRecord{T: recStart, Cell: 2, Attempt: 0},
+		journalRecord{T: recCell, Cell: 0, State: "simulated"}, // duplicate
+	)
+	st := replayJournal(data)
+	if st.id != "c0003" || st.spec == nil {
+		t.Fatalf("spec record: id=%q spec=%v", st.id, st.spec)
+	}
+	if st.done[0] != "simulated" || len(st.done) != 1 {
+		t.Fatalf("done: %v", st.done)
+	}
+	if st.started[1] != 1 || st.started[0] != 0 || st.started[2] != 0 {
+		t.Fatalf("started: %v", st.started)
+	}
+	if st.retries[1] != 1 {
+		t.Fatalf("retries: %v", st.retries)
+	}
+	// Cells 1 and 2 started but never finished: in flight at the crash.
+	if got := st.inFlight(); got != 2 {
+		t.Fatalf("inFlight: %d", got)
+	}
+	if st.terminal != "" {
+		t.Fatalf("terminal: %q", st.terminal)
+	}
+	// A done record marks the campaign terminal.
+	st2 := replayJournal(append(data, walLines(t, journalRecord{T: recDone, State: "done"})...))
+	if st2.terminal != "done" {
+		t.Fatalf("terminal after done record: %q", st2.terminal)
+	}
+}
+
+// TestReplayJournalToleratesDamage checks garbage lines, a truncated
+// tail, and hostile record values narrow recovery without panicking.
+func TestReplayJournalToleratesDamage(t *testing.T) {
+	spec := tinySpec()
+	good := walLines(t,
+		journalRecord{T: recSpec, ID: "c0001", Spec: &spec},
+		journalRecord{T: recStart, Cell: 0},
+		journalRecord{T: recCell, Cell: 0, State: "cached"},
+	)
+	damaged := append([]byte("not json at all\n{\"t\":\"cell\",\"cell\":-5,\"state\":\"x\"}\n"), good...)
+	damaged = append(damaged, []byte(`{"t":"start","cel`)...) // crash mid-write
+	st := replayJournal(damaged)
+	if st.id != "c0001" || st.done[0] != "cached" || st.inFlight() != 0 {
+		t.Fatalf("damaged replay: %+v", st)
+	}
+	if len(st.done) != 1 || len(st.started) != 1 {
+		t.Fatalf("hostile cell indices leaked in: %+v", st)
+	}
+}
+
+// FuzzJournalReplay is the satellite fuzz target: replayJournal never
+// panics on arbitrary bytes, and replay is idempotent — the same bytes
+// reduce to the same state twice (double replay), and replaying a
+// prefix plus the full log equals replaying the full log (records are
+// reducers, not deltas that could double-apply).
+func FuzzJournalReplay(f *testing.F) {
+	spec := invisifence.SweepSpec{Workloads: []string{"barnes"}, Variants: []string{"sc"}, Seeds: []int64{1, 2}}
+	b, _ := json.Marshal(journalRecord{T: recSpec, ID: "c0001", Spec: &spec})
+	f.Add(append(b, '\n'))
+	f.Add([]byte(`{"t":"start","cell":0}` + "\n" + `{"t":"cell","cell":0,"state":"simulated"}` + "\n"))
+	f.Add([]byte(`{"t":"spec","id":"c0002"}` + "\n" + `{"t":"done","state":"done"}`))
+	f.Add([]byte("garbage\n\x00\xff\n{\"t\":\"retry\",\"cell\":3}\n"))
+	f.Add([]byte(`{"t":"cell","cell":-1,"state":"failed","err":"x"}`))
+	f.Add([]byte(`{"t":"start","cell":999999999,"attempt":-7}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st1 := replayJournal(data)
+		st2 := replayJournal(data)
+		if !reflect.DeepEqual(st1, st2) {
+			t.Fatalf("replay not idempotent:\n%+v\n%+v", st1, st2)
+		}
+		// Appending the full log to any newline-aligned prefix of itself
+		// must reduce to the full log's state: every record overwrites,
+		// so re-seeing a prefix cannot corrupt the reduction.
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			st3 := replayJournal(append(append([]byte{}, data[:i+1]...), data...))
+			if !reflect.DeepEqual(st3.done, st1.done) || st3.terminal != st1.terminal || st3.id != st1.id {
+				t.Fatalf("prefix+full replay diverged:\n%+v\n%+v", st3, st1)
+			}
+		}
+		_ = st1.inFlight()
+	})
+}

@@ -1,0 +1,226 @@
+package sweepd
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"invisifence"
+)
+
+// TestCrashRecoveryResumesCampaign is the crash-safety acceptance test,
+// run in-process: a campaign is killed mid-flight (the server is simply
+// abandoned, as kill -9 would), a second server on the same cache dir
+// replays the journal, re-admits the campaign under its original ID, and
+// completes it — finished cells answer from the cache, the cells in
+// flight at the kill are the only ones simulated twice, and the resumed
+// table is byte-identical to an uninterrupted run of the same spec.
+func TestCrashRecoveryResumesCampaign(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec() // 4 cells
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server 1: one worker; the first cell completes, the second wedges
+	// mid-simulation, two never start. No Shutdown — this is the crash.
+	release := make(chan struct{})
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	wedged := make(chan struct{})
+	var before atomic.Int64
+	srv1, err := New(Options{Workers: 1, CacheDir: dir, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		if before.Add(1) == 2 {
+			close(wedged)
+			<-release // wedged until test cleanup
+		}
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Release the wedge and drain the abandoned server before the temp
+	// dir is removed: the freed goroutine writes to the cache.
+	t.Cleanup(func() { releaseOnce(); srv1.ShutdownTimeout(time.Minute) })
+	c1, err := srv1.Submit(spec, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-wedged // cell 0 finished and journaled; cell 1 is in flight
+
+	// The WAL on disk describes exactly that state.
+	wal := journalPath(filepath.Join(dir, "journal"), c1.ID())
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := replayJournal(data)
+	if st.spec == nil || st.terminal != "" {
+		t.Fatalf("pre-crash journal: %+v", st)
+	}
+	inFlight := st.inFlight()
+	if inFlight != 1 || len(st.done) != 1 {
+		t.Fatalf("pre-crash journal: %d in flight, done %v", inFlight, st.done)
+	}
+
+	// Server 2 on the same dir: unready until Recover finishes, then the
+	// campaign is back under its original ID and completes.
+	var after atomic.Int64
+	srv2, err := New(Options{Workers: 2, CacheDir: dir, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		after.Add(1)
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown()
+	if !srv2.Replaying() {
+		t.Fatal("server with pending journals is not replaying")
+	}
+	if err := srv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Replaying() {
+		t.Fatal("still replaying after Recover")
+	}
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+	st2 := pollDone(t, ts.URL, c1.ID())
+	if st2.State != "done" || !st2.Resumed {
+		t.Fatalf("resumed campaign: %+v", st2)
+	}
+	// The journaled-finished cell answers from the cache; everything
+	// else simulates. Cells simulated twice == cells in flight at the
+	// kill.
+	if st2.Cells.Cached != 1 || st2.Cells.Simulated != 3 {
+		t.Fatalf("resumed cell counters: %+v", st2.Cells)
+	}
+	resim := int(before.Load()+after.Load()) - len(jobs)
+	if resim != inFlight {
+		t.Fatalf("%d cells re-simulated, %d were in flight at the kill", resim, inFlight)
+	}
+	resumedTable := getTable(t, ts.URL, c1.ID())
+
+	// The retired journal is gone: recovery is owed exactly once.
+	if _, err := os.Stat(wal); !os.IsNotExist(err) {
+		t.Fatal("journal of completed campaign still on disk")
+	}
+	if s := srv2.Stats(); s.CampaignsRecovered != 1 || s.CampaignsCompleted != 1 {
+		t.Fatalf("server stats: %+v", s)
+	}
+
+	// Byte-identical to an uninterrupted run of the same spec.
+	srv3, err := New(Options{Workers: 4, CacheDir: t.TempDir(), Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Shutdown()
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	id3 := postSpec(t, ts3.URL, spec)
+	pollDone(t, ts3.URL, id3)
+	if uninterrupted := getTable(t, ts3.URL, id3); resumedTable != uninterrupted {
+		t.Fatalf("resumed table diverged from uninterrupted run:\n%s\nvs\n%s", resumedTable, uninterrupted)
+	}
+}
+
+// TestRecoverRemovesTerminalJournal checks a WAL whose campaign already
+// finished (crash between the done record and the unlink) is removed,
+// not resumed.
+func TestRecoverRemovesTerminalJournal(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	wal := journalPath(jdir, "c0002")
+	if err := os.WriteFile(wal, walLines(t,
+		journalRecord{T: recSpec, ID: "c0002", Spec: &spec},
+		journalRecord{T: recDone, State: "done"},
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	if err := srv.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(wal); !os.IsNotExist(err) {
+		t.Fatal("terminal journal survived Recover")
+	}
+	if _, ok := srv.Campaign("c0002"); ok {
+		t.Fatal("terminal journal was resumed")
+	}
+	if s := srv.Stats(); s.CampaignsRecovered != 0 || s.JournalErrors != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestRecoverSetsAsideBadJournal checks an unusable WAL is renamed .bad
+// (so it cannot re-trigger recovery), counted, and does not stop other
+// journals from resuming.
+func TestRecoverSetsAsideBadJournal(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := journalPath(jdir, "c0001")
+	if err := os.WriteFile(bad, []byte("complete garbage, no spec record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	good := journalPath(jdir, "c0002")
+	if err := os.WriteFile(good, walLines(t,
+		journalRecord{T: recSpec, ID: "c0002", Spec: &spec},
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Workers: 2, CacheDir: dir, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
+		return fakeResult(cfg), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	err = srv.Recover()
+	if err == nil || !strings.Contains(err.Error(), "no usable spec record") {
+		t.Fatalf("Recover error: %v", err)
+	}
+	if _, err := os.Stat(bad + ".bad"); err != nil {
+		t.Fatalf("bad journal not set aside: %v", err)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("bad journal still in place")
+	}
+	c, ok := srv.Campaign("c0002")
+	if !ok {
+		t.Fatal("good journal was not resumed")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if st := pollDone(t, ts.URL, c.ID()); st.State != "done" {
+		t.Fatalf("resumed campaign: %+v", st)
+	}
+	if s := srv.Stats(); s.JournalErrors != 1 || s.CampaignsRecovered != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+
+	// Fresh submissions continue the sequence past every journaled ID:
+	// no collision with the resumed campaign.
+	id := postSpec(t, ts.URL, tinySpec())
+	if id != "c0003" {
+		t.Fatalf("post-recovery campaign ID %q, want c0003", id)
+	}
+}

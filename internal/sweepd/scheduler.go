@@ -2,6 +2,7 @@ package sweepd
 
 import (
 	"fmt"
+	"time"
 
 	"invisifence"
 	"invisifence/internal/stats"
@@ -13,6 +14,13 @@ import (
 // a fresh simulation published back into the cache before any
 // single-flight follower is released — so by the time a waiter or a
 // restarted process asks, the cache answers.
+//
+// Every attempt runs under the watchdog deadline, and a timed-out or
+// failed attempt is retried with capped exponential backoff until the
+// attempt budget is spent — then the cell, never the campaign, is
+// marked failed. The cache is re-checked before each attempt: a
+// timed-out attempt's simulation keeps running in the background and
+// publishes on completion, so a retry often finds the answer waiting.
 func (s *Server) runCell(c *Campaign, i int) {
 	if s.draining.Load() {
 		c.transition(i, cellAborted, nil, "server draining: cell was queued, never started")
@@ -21,43 +29,137 @@ func (s *Server) runCell(c *Campaign, i int) {
 	}
 	c.transition(i, cellRunning, nil, "")
 	key := c.keys[i]
-	var res invisifence.Result
-	if ok, _ := s.cache.Get(key, &res); ok {
-		c.transition(i, cellCached, &res, "")
-		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsCached++ })
-		return
+	timeout := s.cellTimeout(c.spec.Scale)
+	attempts := 1 + s.opts.MaxCellRetries
+	if attempts < 1 {
+		attempts = 1
 	}
-	v, shared, err := s.flight.Do(key, func() (any, error) {
-		r, err := s.safeRun(c.jobs[i])
-		if err != nil {
-			return nil, err
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.noteRetry(i)
+			s.count(func(t *stats.ServerStats) { t.CellRetries++ })
+			if d := s.backoff(attempt); d > 0 {
+				s.clock.Sleep(d)
+			}
+			if s.draining.Load() {
+				lastErr = fmt.Errorf("server draining: retry %d abandoned (%w)", attempt, lastErr)
+				break
+			}
 		}
-		// Publish before the flight releases its followers: best-effort
-		// (a failed write degrades a future process to re-simulation),
-		// but ordered so a drain that returns after this cell finished
-		// implies the result is on disk.
-		_ = s.cache.Put(key, r)
-		return r, nil
-	})
-	switch {
-	case err != nil:
-		c.transition(i, cellFailed, nil, err.Error())
-		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsFailed++ })
-	case shared:
-		r := v.(invisifence.Result)
-		c.transition(i, cellDeduped, &r, "")
-		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsDeduped++ })
-	default:
-		r := v.(invisifence.Result)
-		c.transition(i, cellSimulated, &r, "")
-		s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsSimulated++ })
+		var res invisifence.Result
+		if ok, _ := s.cache.Get(key, &res); ok {
+			c.transition(i, cellCached, &res, "")
+			s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsCached++ })
+			return
+		}
+		c.journal(journalRecord{T: recStart, Cell: i, Attempt: attempt})
+		v, shared, err := s.attempt(c, i, key, timeout)
+		switch {
+		case err == errCellTimeout:
+			s.count(func(t *stats.ServerStats) { t.CellTimeouts++ })
+			lastErr = fmt.Errorf("attempt %d exceeded the %v cell deadline", attempt, timeout)
+		case err != nil:
+			lastErr = err
+		case shared:
+			r := v.(invisifence.Result)
+			c.transition(i, cellDeduped, &r, "")
+			s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsDeduped++ })
+			return
+		default:
+			r := v.(invisifence.Result)
+			c.transition(i, cellSimulated, &r, "")
+			s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsSimulated++ })
+			return
+		}
 	}
+	c.transition(i, cellFailed, nil, lastErr.Error())
+	s.finishCampaign(c, func(t *stats.ServerStats) { t.CellsFailed++ })
+}
+
+// errCellTimeout marks a watchdog expiry (distinguished from simulation
+// errors so it can be counted separately).
+var errCellTimeout = fmt.Errorf("sweepd: cell deadline exceeded")
+
+// attempt executes one watchdogged try of a cell. On timeout the
+// simulation goroutine is abandoned, not killed: it keeps running,
+// publishes its result into the cache on completion (the retry loop's
+// pre-attempt cache check collects it), and its buffered channel lets it
+// exit. The worker, though, is freed — which is what bounds drain time.
+func (s *Server) attempt(c *Campaign, i int, key string, timeout time.Duration) (any, bool, error) {
+	type outcome struct {
+		v      any
+		shared bool
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, shared, err := s.flight.Do(key, func() (any, error) {
+			r, err := s.safeRun(c.jobs[i])
+			if err != nil {
+				return nil, err
+			}
+			// Publish before the flight releases its followers:
+			// best-effort (a failed write degrades a future process to
+			// re-simulation), but ordered so a drain that returns after
+			// this cell finished implies the result is on disk.
+			_ = s.cache.Put(key, r)
+			return r, nil
+		})
+		ch <- outcome{v, shared, err}
+	}()
+	var after <-chan time.Time
+	if timeout > 0 {
+		after = s.clock.After(timeout)
+	}
+	select {
+	case o := <-ch:
+		return o.v, o.shared, o.err
+	case <-after:
+		return nil, false, errCellTimeout
+	}
+}
+
+// cellTimeout derives the per-attempt watchdog deadline from the spec's
+// scale: CellTimeout when set, a scale-proportional budget when zero,
+// none when negative.
+func (s *Server) cellTimeout(scale float64) time.Duration {
+	switch {
+	case s.opts.CellTimeout > 0:
+		return s.opts.CellTimeout
+	case s.opts.CellTimeout < 0:
+		return 0
+	}
+	mult := scale
+	if mult < 1 {
+		mult = 1
+	}
+	return time.Duration(float64(defaultScaleBudget) * mult)
+}
+
+// backoff is the sleep before retry attempt k (k >= 1): capped
+// exponential on the configured base.
+func (s *Server) backoff(attempt int) time.Duration {
+	base := s.opts.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for k := 1; k < attempt && d < backoffCap*base; k++ {
+		d *= 2
+	}
+	if d > backoffCap*base {
+		d = backoffCap * base
+	}
+	return d
 }
 
 // safeRun executes one cell, converting a panic into an error: a
 // poisoned cell fails alone — the worker, its queue siblings, and the
 // server all survive. (The flight layer has the same guard, so even a
-// panic outside safeRun's window could not strand followers.)
+// panic outside safeRun's window could not strand followers.) The cell
+// fault-injection site fires inside the guard, so injected panics take
+// the organic path.
 func (s *Server) safeRun(cfg invisifence.Config) (res invisifence.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -65,6 +167,11 @@ func (s *Server) safeRun(cfg invisifence.Config) (res invisifence.Result, err er
 				cfg.Workload, cfg.Variant.Name, cfg.Seed, p)
 		}
 	}()
+	s.inj.Delay(SiteCell)
+	s.inj.MaybePanic(SiteCell)
+	if err := s.inj.Err(SiteCell); err != nil {
+		return res, err
+	}
 	return s.opts.Run(cfg)
 }
 

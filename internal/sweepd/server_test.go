@@ -489,7 +489,9 @@ func TestAPIRejections(t *testing.T) {
 	}
 }
 
-// TestStatszAndHealthz sanity-checks the telemetry surface.
+// TestStatszAndHealthz sanity-checks the telemetry and health surfaces:
+// /healthz is pure liveness ("ok" even while draining), /readyz flips to
+// 503 once a drain begins.
 func TestStatszAndHealthz(t *testing.T) {
 	srv, err := New(Options{Workers: 2, Run: func(cfg invisifence.Config) (invisifence.Result, error) {
 		return fakeResult(cfg), nil
@@ -509,6 +511,16 @@ func TestStatszAndHealthz(t *testing.T) {
 	resp.Body.Close()
 	if buf.String() != "ok\n" {
 		t.Fatalf("healthz: %q", buf.String())
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || buf.String() != "ready\n" {
+		t.Fatalf("readyz: %s %q", resp.Status, buf.String())
 	}
 
 	spec := tinySpec()
@@ -543,7 +555,17 @@ func TestStatszAndHealthz(t *testing.T) {
 	buf.Reset()
 	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
-	if buf.String() != "draining\n" {
+	if buf.String() != "ok\n" {
 		t.Fatalf("healthz while draining: %q", buf.String())
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || buf.String() != "draining\n" {
+		t.Fatalf("readyz while draining: %s %q", resp.Status, buf.String())
 	}
 }

@@ -245,7 +245,14 @@ type Result struct {
 func Workloads() []string { return workload.Names() }
 
 // Run executes one configuration and validates the workload invariant.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (Result, error) { return RunBounded(cfg, 0) }
+
+// RunBounded is Run with an external cycle backstop: the simulation is
+// bounded by the smaller of cfg.MaxCycles (defaulted when zero) and
+// backstop (ignored when zero). The bound never enters cfg — MaxCycles
+// participates in cache keys, so a service-side backstop must cap the
+// run without changing what run it is.
+func RunBounded(cfg Config, backstop uint64) (Result, error) {
 	cores := cfg.Machine.Width * cfg.Machine.Height
 	wl, err := workload.Get(cfg.Workload, workload.Params{
 		Cores: cores,
@@ -259,6 +266,9 @@ func Run(cfg Config) (Result, error) {
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 500_000_000
+	}
+	if backstop != 0 && backstop < maxCycles {
+		maxCycles = backstop
 	}
 	scfg := sim.Config{
 		Net: network.Config{

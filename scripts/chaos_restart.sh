@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# chaos_restart.sh — crash-recovery acceptance test against the real
+# binary: kill -9 a sweepd strictly mid-campaign, restart it on the same
+# cache directory, and assert the journaled campaign resumes under its
+# original ID, completes, and renders a table byte-identical to cmd/sweep
+# run offline on the same spec with an independent cache.
+#
+# Environment: SWEEPD/SWEEP point at prebuilt binaries (default
+# /tmp/sweepd, /tmp/sweep); ADDR is the listen address.
+set -euo pipefail
+
+SWEEPD=${SWEEPD:-/tmp/sweepd}
+SWEEP=${SWEEP:-/tmp/sweep}
+ADDR=${ADDR:-127.0.0.1:8378}
+WORK=$(mktemp -d)
+PID=
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# 16 cells, small scale: slow enough that a 25ms poll catches the
+# campaign mid-flight, fast enough to finish promptly after the restart.
+printf '%s\n' '{"workloads": ["barnes"], "variants": ["sc", "invisi-sc"], "seeds": [1, 2, 3, 4, 5, 6, 7, 8], "scale": 0.5}' > "$WORK/grid.json"
+TOTAL=16
+
+field() { # field <url> <python-expr over the response object r>
+  curl -s "$1" | python3 -c "import json,sys; r=json.load(sys.stdin); print($2)"
+}
+
+wait_http() {
+  for _ in $(seq 200); do
+    curl -sf "$ADDR/$1" >/dev/null && return 0
+    sleep 0.05
+  done
+  echo "chaos_restart: $ADDR/$1 never came up" >&2
+  return 1
+}
+
+# A too-fast campaign can finish before the kill lands; retry with a
+# fresh cache rather than passing vacuously.
+for attempt in 1 2 3; do
+  CACHE="$WORK/cache$attempt"
+  "$SWEEPD" -addr "$ADDR" -cache "$CACHE" -workers 2 2> "$WORK/log1" &
+  PID=$!
+  wait_http healthz
+  id=$(curl -sf -d @"$WORK/grid.json" "$ADDR/sweeps" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+
+  done_cells=0
+  for _ in $(seq 2400); do
+    done_cells=$(field "$ADDR/sweeps/$id" 'r["cells"]["cached"]+r["cells"]["simulated"]+r["cells"]["deduped"]')
+    [ "$done_cells" -gt 0 ] && break
+    sleep 0.025
+  done
+  kill -9 "$PID"
+  wait "$PID" 2>/dev/null || true
+
+  if [ "$done_cells" -gt 0 ] && [ "$done_cells" -lt "$TOTAL" ]; then
+    echo "chaos_restart: killed sweepd with $done_cells/$TOTAL cells done (attempt $attempt)"
+    break
+  fi
+  echo "chaos_restart: campaign not mid-flight at the kill (done=$done_cells); retrying" >&2
+  if [ "$attempt" = 3 ]; then
+    echo "chaos_restart: could not catch a campaign mid-flight in 3 attempts" >&2
+    exit 1
+  fi
+done
+
+[ -f "$CACHE/journal/$id.wal" ] || { echo "chaos_restart: no journal for $id after kill -9" >&2; exit 1; }
+
+# Restart on the same cache: the journal must resume the campaign.
+"$SWEEPD" -addr "$ADDR" -cache "$CACHE" -workers 4 2> "$WORK/log2" &
+PID=$!
+wait_http healthz
+wait_http readyz   # readiness gates on journal replay finishing
+
+state=running
+for _ in $(seq 2400); do
+  state=$(field "$ADDR/sweeps/$id" 'r["state"]')
+  [ "$state" != running ] && break
+  sleep 0.05
+done
+[ "$state" = done ] || { echo "chaos_restart: resumed campaign state=$state" >&2; curl -s "$ADDR/sweeps/$id" >&2; exit 1; }
+resumed=$(field "$ADDR/sweeps/$id" 'r.get("resumed", False)')
+[ "$resumed" = True ] || { echo "chaos_restart: campaign not marked resumed" >&2; exit 1; }
+grep -q "resumed 1 journaled campaign" "$WORK/log2" || { echo "chaos_restart: no recovery line in the restart log" >&2; cat "$WORK/log2" >&2; exit 1; }
+
+curl -s "$ADDR/sweeps/$id/table" > "$WORK/resumed.txt"
+kill -TERM "$PID" && wait "$PID"
+PID=
+
+# Independent oracle: cmd/sweep offline, fresh cache, same spec.
+"$SWEEP" -spec "$WORK/grid.json" -cache "$WORK/offline-cache" > "$WORK/offline.txt"
+diff -u "$WORK/offline.txt" "$WORK/resumed.txt"
+echo "chaos_restart: resumed table byte-identical to the offline run"
