@@ -17,7 +17,8 @@
 // apache under conventional SC and Invisi_sc with a finite link bandwidth
 // (-linkbw, cycles/flit) — so the per-link contention model's cost and its
 // queuing-delay telemetry are tracked in every BENCH file and in the
-// -quick CI artifact.
+// -quick CI artifact, plus one release-consistency cell (apache under
+// Invisi_rc) tracking the RC retirement paths.
 //
 // Usage:
 //
@@ -258,6 +259,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-12s %-12s %9d cycles  %12d ns/run  %10.0f cycles/s  qdelay/msg %.1f  (linkbw %d)\n",
 				r.Workload, r.Variant, r.SimCycles, r.NsPerRun, r.CyclesPerSec, r.QueueDelayPerMsg, r.LinkBandwidth)
 		}
+	}
+
+	// Release-consistency smoke cell: apache under speculation-over-RC
+	// (Invisi_rc), so the RC retirement paths — annotated sync library,
+	// release-triggered speculation, draining atomics — leave a measured
+	// wall-clock point in every BENCH file and the -quick CI artifact for
+	// benchdiff to track. Skipped on filtered invocations like the other
+	// extras.
+	if *workloads == "" && *variants == "sc,invisi-sc" {
+		v, err := invisifence.VariantByName("invisi-rc")
+		if err != nil {
+			fail(err)
+		}
+		cfg := invisifence.DefaultConfig()
+		cfg.Workload = "apache"
+		cfg.Variant = v
+		cfg.Scale = *scale
+		cfg.Clusters = *clusters
+		r, err := measure(cfg, *iters)
+		if err != nil {
+			fail(err)
+		}
+		file.Runs = append(file.Runs, r)
+		fmt.Fprintf(os.Stderr, "%-12s %-12s %9d cycles  %12d ns/run  %10.0f cycles/s  %8d allocs\n",
+			r.Workload, r.Variant, r.SimCycles, r.NsPerRun, r.CyclesPerSec, r.AllocsPerRun)
 	}
 
 	if !*noRef {

@@ -6,8 +6,8 @@
 //
 //	invisifence -workload apache -variant invisi-sc [-cores 16] [-seed 1] [-scale 1.0]
 //
-// Variants: sc, tso, rmo, invisi-sc, invisi-tso, invisi-rmo,
-// invisi-sc-2ckpt, continuous, continuous-cov, aso.
+// Variants: sc, tso, rmo, rc, invisi-sc, invisi-tso, invisi-rmo,
+// invisi-rc, invisi-sc-2ckpt, continuous, continuous-cov, aso, louvre-rc.
 package main
 
 import (

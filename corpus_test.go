@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"invisifence/internal/consistency"
 	"invisifence/internal/isa"
 	"invisifence/internal/litmus"
 )
@@ -52,9 +53,9 @@ type corpusCase struct {
 // tso/rmo and their InvisiFence counterparts; every SC-model config
 // (sc, invisi-sc*, continuous*, aso) must always read as SC.
 var corpusCases = []corpusCase{
-	{test: "SB", observed: []string{"tso", "rmo", "invisi-tso", "invisi-rmo"},
+	{test: "SB", observed: []string{"tso", "rmo", "invisi-tso", "invisi-rmo", "rc", "invisi-rc", "louvre-rc"},
 		note: "store buffers delay both stores past both loads"},
-	{test: "MP", observed: []string{"rmo", "invisi-rmo"},
+	{test: "MP", observed: []string{"rmo", "invisi-rmo", "rc", "invisi-rc", "louvre-rc"},
 		note: "coalescing buffer drains flag before data when the data block's home is remote; reader side is closed by load-queue snooping"},
 	{test: "LB", observed: nil,
 		note: "loads retire in order and stores drain post-retirement, so a load's value can never come from a program-later store"},
@@ -64,12 +65,26 @@ var corpusCases = []corpusCase{
 		note: "same-address load-load reordering is squashed by load-queue snooping (coherence)"},
 	{test: "ISA2", observed: nil,
 		note: "the extra hop through T1 gives T0's delayed data store time to complete before T2 reads: the MP-style window closes transitively"},
-	{test: "2+2W", observed: []string{"rmo", "invisi-rmo"},
+	{test: "2+2W", observed: []string{"rmo", "invisi-rmo", "rc", "invisi-rc", "louvre-rc"},
 		note: "both coalescing buffers drain their second store first"},
-	{test: "R", observed: []string{"tso", "rmo", "invisi-tso", "invisi-rmo"},
+	{test: "R", observed: []string{"tso", "rmo", "invisi-tso", "invisi-rmo", "rc", "invisi-rc", "louvre-rc"},
 		note: "T1's load bypasses its buffered store of y"},
 	{test: "S", observed: nil,
 		note: "the write-to-read edge into T1 pins T1's buffered store of x behind the observed load"},
+	{test: "MP-rel-acq", observed: []string{"rmo", "invisi-rmo"},
+		note: "st.rel/ld.acq degrade to plain st/ld under RMO, reopening the MP window; every RC config must stay clean — the annotations alone carry the ordering"},
+	{test: "ISA2-rel-acq", observed: nil,
+		note: "as ISA2: the extra hop closes the window even where the model allows it"},
+}
+
+// fencedPolicy is the corpus's "fenced" column per config: full fences for
+// the fence-based models, acquire/release annotations for RC (its sync
+// library emits ld.acq/st.rel instead of fences).
+func fencedPolicy(spec litmus.ConfigSpec) isa.FencePolicy {
+	if spec.Model == consistency.RC {
+		return isa.RCFences
+	}
+	return isa.RMOFences
 }
 
 // corpusTest resolves a corpus entry against the litmus suite.
@@ -130,7 +145,7 @@ func corpusReport(tt litmus.Test) string {
 		for _, pol := range []struct {
 			name string
 			fp   isa.FencePolicy
-		}{{"unfenced", isa.NoFences}, {"fenced", isa.RMOFences}} {
+		}{{"unfenced", isa.NoFences}, {"fenced", fencedPolicy(spec)}} {
 			h := litmus.HarnessFor(tt, pol.fp)
 			hist := h.Sweep(spec, corpusSeeds)
 			matches := litmus.CountMatches(hist, tt.Target)
@@ -192,7 +207,7 @@ func TestLitmusCorpus(t *testing.T) {
 				// forbidden table, fence-policy aware (e.g. fenced SB still
 				// admits [0 0]: release/acquire never orders store→load) —
 				// must hold run by run under both policies.
-				for _, pol := range []isa.FencePolicy{isa.NoFences, isa.RMOFences} {
+				for _, pol := range []isa.FencePolicy{isa.NoFences, fencedPolicy(spec)} {
 					r := litmus.RunWithPolicy(tt, spec, pol, corpusSeeds)
 					if len(r.Violations) > 0 {
 						t.Errorf("%s/%s: %d model-forbidden outcomes (first %v)",

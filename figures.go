@@ -249,6 +249,9 @@ func Figure2() *Table {
 		if r.LoadNeedsDrain {
 			load = "drain SB"
 		}
+		if r.ReleaseNeedsDrain {
+			store = "drain SB at st.rel"
+		}
 		if r.AtomicNeedsDrain {
 			atomic = "drain SB"
 		} else if r.AtomicNeedsOwnership {

@@ -49,6 +49,12 @@ func goldenCases() []goldenCase {
 		goldenCase{"ocean", "rmo", 0.25},
 		goldenCase{"barnes", "invisi-rmo", 0.25},
 		goldenCase{"oltp-db2", "continuous-cov", 0.25},
+		// The release-consistency family: the conventional RC baseline
+		// (annotated sync library, release drains), speculation over RC,
+		// and the Louvre-style versioned-ordering baseline.
+		goldenCase{"ocean", "rc", 0.25},
+		goldenCase{"barnes", "invisi-rc", 0.25},
+		goldenCase{"apache", "louvre-rc", 0.25},
 	)
 	return cases
 }

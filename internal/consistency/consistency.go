@@ -18,10 +18,16 @@ const (
 	// RMO is relaxed memory order (SPARC RMO, PowerPC, ARM, Alpha): all
 	// ordering relaxed except at explicit fences.
 	RMO
+	// RC is release consistency (Gharachorloo et al.): plain accesses
+	// reorder freely, but an acquiring load orders before every later
+	// access and a releasing store orders after every earlier access.
+	// Ordering is carried by the annotated accesses themselves (ld.acq /
+	// st.rel), not by standalone fences.
+	RC
 )
 
-// Models lists all three in presentation order.
-var Models = []Model{SC, TSO, RMO}
+// Models lists all models in presentation order.
+var Models = []Model{SC, TSO, RMO, RC}
 
 // String implements fmt.Stringer.
 func (m Model) String() string {
@@ -32,6 +38,8 @@ func (m Model) String() string {
 		return "tso"
 	case RMO:
 		return "rmo"
+	case RC:
+		return "rc"
 	}
 	return fmt.Sprintf("Model(%d)", uint8(m))
 }
@@ -81,6 +89,13 @@ type Rules struct {
 	// FenceNeedsDrain: a fence may not retire until the store buffer is
 	// empty (TSO's full fence, RMO's MEMBAR; SC has no fences).
 	FenceNeedsDrain bool
+	// ReleaseNeedsDrain: a releasing store (st.rel) may not retire until
+	// the store buffer is empty, making every earlier store visible
+	// before the release itself (RC only). Plain stores are unaffected.
+	// Acquire-side ordering needs no drain: in-order retirement plus
+	// load-queue snooping already order an acquiring load before
+	// everything younger.
+	ReleaseNeedsDrain bool
 }
 
 // ruleTable is indexed by Model: RulesFor sits on the simulator's
@@ -111,6 +126,17 @@ var ruleTable = [...]Rules{
 		SB:                   SBCoalescingBlock,
 		AtomicNeedsOwnership: true,
 		FenceNeedsDrain:      true,
+	},
+	RC: {
+		Model:       RC,
+		Relaxations: "all except acquire/release edges",
+		SB:          SBCoalescingBlock,
+		// Atomics are synchronization accesses (RCsc): they carry both
+		// acquire and release ordering, so they drain like a release.
+		AtomicNeedsDrain:     true,
+		AtomicNeedsOwnership: true,
+		FenceNeedsDrain:      true,
+		ReleaseNeedsDrain:    true,
 	},
 }
 

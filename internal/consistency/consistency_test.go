@@ -23,10 +23,21 @@ func TestFigure2RuleTable(t *testing.T) {
 	if !rmo.FenceNeedsDrain || !rmo.AtomicNeedsOwnership || rmo.SB != SBCoalescingBlock {
 		t.Fatalf("RMO row wrong: %+v", rmo)
 	}
+	if rmo.ReleaseNeedsDrain {
+		t.Fatal("RMO has no release drains: ordering comes from fences")
+	}
+	rc := RulesFor(RC)
+	if rc.LoadNeedsDrain || rc.StoreNeedsOrder {
+		t.Fatalf("RC must relax plain accesses: %+v", rc)
+	}
+	if !rc.ReleaseNeedsDrain || !rc.AtomicNeedsDrain || !rc.FenceNeedsDrain ||
+		!rc.AtomicNeedsOwnership || rc.SB != SBCoalescingBlock {
+		t.Fatalf("RC row wrong: %+v", rc)
+	}
 }
 
 func TestModelsOrderAndStrings(t *testing.T) {
-	if len(Models) != 3 || Models[0] != SC || Models[1] != TSO || Models[2] != RMO {
+	if len(Models) != 4 || Models[0] != SC || Models[1] != TSO || Models[2] != RMO || Models[3] != RC {
 		t.Fatal("Models order changed")
 	}
 	for _, m := range Models {

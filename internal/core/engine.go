@@ -43,6 +43,14 @@ const (
 	// ModeASO approximates the ASO baseline (§2.2): selective speculation
 	// with periodic checkpoints and drain-based commit.
 	ModeASO
+	// ModeLouvre approximates a Louvre-style versioned-ordering baseline
+	// over release consistency: a version epoch opens only at a release
+	// boundary (a st.rel that would otherwise wait on the store-buffer
+	// drain), per-block version tags are the epoch's speculative L1 bits,
+	// and a version conflict — a remote request touching a tagged block —
+	// squashes immediately (no commit-on-violate deferral). Everywhere
+	// else the core takes the conventional RC stall.
+	ModeLouvre
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +64,8 @@ func (m Mode) String() string {
 		return "continuous"
 	case ModeASO:
 		return "aso"
+	case ModeLouvre:
+		return "louvre"
 	}
 	return fmt.Sprintf("Mode(%d)", uint8(m))
 }
@@ -98,6 +108,13 @@ func DefaultContinuous(cov bool) Config {
 		c.CoVTimeout = 4000
 	}
 	return c
+}
+
+// DefaultLouvre returns the Louvre-style versioned-ordering baseline:
+// two version epochs in flight (current + draining), squash-on-conflict
+// (no deferral window), release-boundary triggers only.
+func DefaultLouvre() Config {
+	return Config{Mode: ModeLouvre, Model: consistency.RC, MaxCheckpoints: 2}
 }
 
 // DefaultASO returns the ASO-like baseline configuration used for the
@@ -491,9 +508,13 @@ func (e *Engine) SpeculatesOn() string {
 			return "store/atomic reorderings, fences"
 		case consistency.RMO:
 			return "fences, atomics"
+		case consistency.RC:
+			return "releases, atomics"
 		}
 	case ModeContinuous:
 		return "continuous chunks"
+	case ModeLouvre:
+		return "release boundaries (versioned ordering)"
 	}
 	return "nothing"
 }

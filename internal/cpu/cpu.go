@@ -82,12 +82,14 @@ type Backend interface {
 	// for a later FillLoad on a miss.
 	StartLoad(tag uint64, addr memtypes.Addr) LoadResult
 	// RetireLoad applies retirement policy for a load whose value is
-	// already bound. fromL1 reports whether the value came from the memory
+	// already bound. op distinguishes plain loads from acquiring loads
+	// (ld.acq); fromL1 reports whether the value came from the memory
 	// system (as opposed to in-window forwarding).
-	RetireLoad(addr memtypes.Addr, fromL1 bool) (bool, StallReason)
+	RetireLoad(op isa.Op, addr memtypes.Addr, fromL1 bool) (bool, StallReason)
 	// RetireStore attempts to make a store visible (L1 write or store
-	// buffer entry) at retirement.
-	RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, StallReason)
+	// buffer entry) at retirement. op distinguishes plain stores from
+	// releasing stores (st.rel).
+	RetireStore(op isa.Op, addr memtypes.Addr, val memtypes.Word) (bool, StallReason)
 	// RetireAtomic attempts to perform an atomic read-modify-write at
 	// retirement, returning the old value when it completes.
 	RetireAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes.Word) (bool, memtypes.Word, StallReason)
@@ -427,7 +429,7 @@ func (c *Core) retire() {
 				c.stallAt(StallOther)
 				return
 			}
-			ok, why := c.backend.RetireLoad(e.addr, e.fromL1)
+			ok, why := c.backend.RetireLoad(in.Op, e.addr, e.fromL1)
 			if !ok {
 				c.stallAt(why)
 				return
@@ -439,7 +441,7 @@ func (c *Core) retire() {
 				c.stallAt(StallOther)
 				return
 			}
-			ok, why := c.backend.RetireStore(e.addr, e.dataVal)
+			ok, why := c.backend.RetireStore(in.Op, e.addr, e.dataVal)
 			if !ok {
 				c.stallAt(why)
 				return

@@ -45,11 +45,11 @@ func (f *fakeBackend) StartLoad(tag uint64, addr memtypes.Addr) LoadResult {
 	return LoadResult{Status: LoadHit, Value: f.mem[addr], ReadyAt: *f.now + f.hitLatency}
 }
 
-func (f *fakeBackend) RetireLoad(addr memtypes.Addr, fromL1 bool) (bool, StallReason) {
+func (f *fakeBackend) RetireLoad(op isa.Op, addr memtypes.Addr, fromL1 bool) (bool, StallReason) {
 	return true, StallNone
 }
 
-func (f *fakeBackend) RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, StallReason) {
+func (f *fakeBackend) RetireStore(op isa.Op, addr memtypes.Addr, val memtypes.Word) (bool, StallReason) {
 	if f.stallStores {
 		return false, f.stallReason
 	}

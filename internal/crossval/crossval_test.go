@@ -30,9 +30,9 @@ func TestCorpusSound(t *testing.T) {
 	if counts[ClassMatch] == 0 {
 		t.Error("no matching cells")
 	}
-	// 12 tests x 10 configs, RMW skipped (no canonical target spec).
-	if len(rep.Cells) != 120 || counts[ClassSkipped] != 10 {
-		t.Errorf("cells=%d skipped=%d, want 120/10", len(rep.Cells), counts[ClassSkipped])
+	// 14 tests x 13 configs, RMW skipped (no canonical target spec).
+	if len(rep.Cells) != 182 || counts[ClassSkipped] != 13 {
+		t.Errorf("cells=%d skipped=%d, want 182/13", len(rep.Cells), counts[ClassSkipped])
 	}
 
 	find := func(test, config string) Cell {
@@ -75,6 +75,29 @@ func TestCorpusSound(t *testing.T) {
 	// model statically (the speculation is invisible to the static side).
 	if c := find("MP", "invisi-rmo"); c.Class != ClassConservative {
 		t.Errorf("MP/invisi-rmo: class %s, want %s", c.Class, ClassConservative)
+	}
+
+	// RC rows. Plain MP under rc relaxes like rmo: the static side needs
+	// both fences, the machine only the writer side (load-queue snooping).
+	for _, cfg := range []string{"rc", "invisi-rc", "louvre-rc"} {
+		if c := find("MP", cfg); c.Class != ClassConservative {
+			t.Errorf("MP/%s: class %s, want %s (%s)", cfg, c.Class, ClassConservative, c.Detail)
+		}
+	}
+	// MP-rel-acq under RC: the annotations are the fences — the static
+	// delay set must be empty (acquire and release edges are not
+	// reorderable) and the machine must agree, with no fence inserted.
+	for _, cfg := range []string{"rc", "invisi-rc", "louvre-rc"} {
+		c := find("MP-rel-acq", cfg)
+		if c.Class != ClassMatch || !c.StaticForbidden || !c.DynamicForbidden {
+			t.Errorf("MP-rel-acq/%s: class=%s staticForbidden=%v dynamicForbidden=%v, want match/forbidden/forbidden (%s)",
+				cfg, c.Class, c.StaticForbidden, c.DynamicForbidden, c.Detail)
+		}
+	}
+	// ...while under rmo the same program degrades to plain MP: the static
+	// side must emit real fence sets (annotations carry no RMO ordering).
+	if c := find("MP-rel-acq", "rmo"); c.StaticForbidden {
+		t.Errorf("MP-rel-acq/rmo: statically forbidden, but RMO ignores the annotations")
 	}
 }
 

@@ -111,6 +111,16 @@ func (b *Builder) St(base Reg, off int64, src Reg) {
 	b.emit(Instr{Op: St, Rs1: base, Imm: off, Rs2: src})
 }
 
+// LdAcq emits rd = mem[rs1+off] with acquire ordering.
+func (b *Builder) LdAcq(rd, base Reg, off int64) {
+	b.emit(Instr{Op: LdAcq, Rd: rd, Rs1: base, Imm: off})
+}
+
+// StRel emits mem[rs1+off] = rs2 with release ordering.
+func (b *Builder) StRel(base Reg, off int64, src Reg) {
+	b.emit(Instr{Op: StRel, Rs1: base, Imm: off, Rs2: src})
+}
+
 // Cas emits rd = CAS(mem[base+off], cmp, swp).
 func (b *Builder) Cas(rd, base Reg, off int64, cmp, swp Reg) {
 	b.emit(Instr{Op: Cas, Rd: rd, Rs1: base, Imm: off, Rs2: cmp, Rs3: swp})

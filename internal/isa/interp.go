@@ -98,9 +98,9 @@ func (it *Interp) Step() error {
 		} else {
 			it.write(in.Rd, 0)
 		}
-	case Ld:
+	case Ld, LdAcq:
 		it.write(in.Rd, it.Mem[it.addr(in)])
-	case St:
+	case St, StRel:
 		it.Mem[it.addr(in)] = it.read(in.Rs2)
 	case Cas:
 		a := it.addr(in)

@@ -98,6 +98,14 @@ const (
 	Ld
 	// St: mem[rs1 + imm] = rs2.
 	St
+	// LdAcq: rd = mem[rs1 + imm], acquire semantics — under RC no later
+	// access may appear to execute before it. Identical to Ld under
+	// SC/TSO/RMO.
+	LdAcq
+	// StRel: mem[rs1 + imm] = rs2, release semantics — under RC no
+	// earlier access may appear to execute after it. Identical to St
+	// under SC/TSO/RMO.
+	StRel
 	// Cas: atomic compare-and-swap on mem[rs1 + imm]: rd = old;
 	// if old == rs2 { mem = rs3 }.
 	Cas
@@ -123,7 +131,8 @@ var opNames = [...]string{
 	Nop: "nop", Halt: "halt", MovI: "movi", Add: "add", AddI: "addi",
 	Sub: "sub", Mul: "mul", And: "and", Or: "or", Xor: "xor",
 	ShlI: "shli", ShrI: "shri", SltU: "sltu", Seq: "seq", Delay: "delay",
-	Ld: "ld", St: "st", Cas: "cas", Fadd: "fadd", Swap: "swap",
+	Ld: "ld", St: "st", LdAcq: "ld.acq", StRel: "st.rel",
+	Cas: "cas", Fadd: "fadd", Swap: "swap",
 	Fence: "fence", Br: "br", Beq: "beq", Bne: "bne", Bltu: "bltu", Bgeu: "bgeu",
 }
 
@@ -154,10 +163,16 @@ func (o Op) IsCondBranch() bool {
 }
 
 // IsLoad reports whether the op reads memory non-atomically.
-func (o Op) IsLoad() bool { return o == Ld }
+func (o Op) IsLoad() bool { return o == Ld || o == LdAcq }
 
 // IsStore reports whether the op writes memory non-atomically.
-func (o Op) IsStore() bool { return o == St }
+func (o Op) IsStore() bool { return o == St || o == StRel }
+
+// IsAcquire reports whether the op carries acquire ordering (RC).
+func (o Op) IsAcquire() bool { return o == LdAcq }
+
+// IsRelease reports whether the op carries release ordering (RC).
+func (o Op) IsRelease() bool { return o == StRel }
 
 // IsAtomic reports whether the op is an atomic read-modify-write.
 func (o Op) IsAtomic() bool { return o == Cas || o == Fadd || o == Swap }
@@ -183,7 +198,7 @@ func (o Op) AccessKind() memtypes.AccessKind {
 // WritesRd reports whether the instruction produces a register result.
 func (o Op) WritesRd() bool {
 	switch o {
-	case MovI, Add, AddI, Sub, Mul, And, Or, Xor, ShlI, ShrI, SltU, Seq, Ld, Cas, Fadd, Swap:
+	case MovI, Add, AddI, Sub, Mul, And, Or, Xor, ShlI, ShrI, SltU, Seq, Ld, LdAcq, Cas, Fadd, Swap:
 		return true
 	}
 	return false
@@ -226,10 +241,10 @@ func (in Instr) String() string {
 		return fmt.Sprintf("delay %d", in.Imm)
 	case in.Op == AddI || in.Op == ShlI || in.Op == ShrI:
 		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
-	case in.Op == Ld:
-		return fmt.Sprintf("ld r%d, [r%d+%d]", in.Rd, in.Rs1, in.Imm)
-	case in.Op == St:
-		return fmt.Sprintf("st [r%d+%d], r%d", in.Rs1, in.Imm, in.Rs2)
+	case in.Op == Ld || in.Op == LdAcq:
+		return fmt.Sprintf("%s r%d, [r%d+%d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case in.Op == St || in.Op == StRel:
+		return fmt.Sprintf("%s [r%d+%d], r%d", in.Op, in.Rs1, in.Imm, in.Rs2)
 	case in.Op == Cas:
 		return fmt.Sprintf("cas r%d, [r%d+%d], r%d -> r%d", in.Rd, in.Rs1, in.Imm, in.Rs2, in.Rs3)
 	case in.Op == Fadd:

@@ -62,6 +62,8 @@ func TestOpClassifiers(t *testing.T) {
 	}{
 		{Ld, true, false, false, false},
 		{St, false, true, false, false},
+		{LdAcq, true, false, false, false},
+		{StRel, false, true, false, false},
 		{Cas, false, false, true, false},
 		{Fadd, false, false, true, false},
 		{Swap, false, false, true, false},
@@ -79,6 +81,9 @@ func TestOpClassifiers(t *testing.T) {
 	if !Ld.IsMem() || !Cas.IsMem() || Fence.IsMem() {
 		t.Fatal("IsMem wrong")
 	}
+	if !LdAcq.IsAcquire() || !StRel.IsRelease() || Ld.IsAcquire() || St.IsRelease() || Fence.IsAcquire() {
+		t.Fatal("acquire/release annotations wrong")
+	}
 }
 
 func TestAccessKinds(t *testing.T) {
@@ -95,13 +100,16 @@ func TestDisassembleRoundtripMentions(t *testing.T) {
 	b.St(R3, 8, R4)
 	b.Cas(R5, R3, 0, R0, R4)
 	b.Fadd(R6, R3, 0, R4)
+	b.LdAcq(R7, R3, 24)
+	b.StRel(R3, 32, R7)
 	b.Fence()
 	b.Label("end")
 	b.Br("end")
 	b.Halt()
 	p := b.MustBuild()
 	d := p.Disassemble()
-	for _, frag := range []string{"movi r3, 42", "ld r4, [r3+16]", "st [r3+8], r4", "cas", "fadd", "fence", "halt", "end:"} {
+	for _, frag := range []string{"movi r3, 42", "ld r4, [r3+16]", "st [r3+8], r4", "cas", "fadd",
+		"ld.acq r7, [r3+24]", "st.rel [r3+32], r7", "fence", "halt", "end:"} {
 		if !strings.Contains(d, frag) {
 			t.Errorf("disassembly missing %q:\n%s", frag, d)
 		}
@@ -145,5 +153,42 @@ func TestSyncEmittersFencePolicy(t *testing.T) {
 	}
 	if n := count(RMOFences); n == 0 {
 		t.Fatal("RMO policy emitted no fences")
+	}
+	if n := count(RCFences); n != 0 {
+		t.Fatalf("RC policy emitted %d standalone fences, want 0", n)
+	}
+}
+
+// TestSyncEmittersRCAnnotations pins the RC specialization: the lock and
+// barrier macros carry ordering on annotated accesses, not fences — the
+// unlock store and sense publish are st.rel, the spin loads are ld.acq.
+func TestSyncEmittersRCAnnotations(t *testing.T) {
+	ops := func(fp FencePolicy) (acq, rel int) {
+		b := NewBuilder("t")
+		b.SpinLock(R1, 0, R10, R11, fp)
+		b.SpinUnlock(R1, 0, fp)
+		b.Barrier(R2, 0, R28, R10, R11, 4, fp)
+		b.Halt()
+		for _, in := range b.MustBuild().Instrs {
+			switch in.Op {
+			case LdAcq:
+				acq++
+			case StRel:
+				rel++
+			}
+		}
+		return
+	}
+	acq, rel := ops(RCFences)
+	// ld.acq: lock test load + barrier sense spin; st.rel: unlock store +
+	// barrier sense publish.
+	if acq != 2 || rel != 2 {
+		t.Fatalf("RC policy emitted %d ld.acq / %d st.rel, want 2/2", acq, rel)
+	}
+	if acq, rel := ops(NoFences); acq != 0 || rel != 0 {
+		t.Fatalf("plain policy emitted annotated accesses: %d/%d", acq, rel)
+	}
+	if !RCFences.Synchronizes() || NoFences.Synchronizes() || !RMOFences.Synchronizes() {
+		t.Fatal("Synchronizes wrong")
 	}
 }

@@ -20,6 +20,14 @@ type FencePolicy struct {
 	// barrier announcement), ordering the critical section before the
 	// release store.
 	Release bool
+	// AcquireLoads replaces the synchronization loads that observe a lock
+	// or barrier sense word with ld.acq, carrying acquire ordering on the
+	// access itself instead of a standalone fence (RC).
+	AcquireLoads bool
+	// ReleaseStores replaces the stores that publish a lock release or
+	// barrier sense with st.rel, carrying release ordering on the access
+	// itself instead of a standalone fence (RC).
+	ReleaseStores bool
 }
 
 // NoFences is the policy for SC and TSO.
@@ -27,6 +35,36 @@ var NoFences = FencePolicy{}
 
 // RMOFences is the policy for RMO.
 var RMOFences = FencePolicy{Acquire: true, Release: true}
+
+// RCFences is the policy for RC: no standalone fences; ordering rides on
+// annotated acquire loads and release stores.
+var RCFences = FencePolicy{AcquireLoads: true, ReleaseStores: true}
+
+// Synchronizes reports whether the policy emits any ordering at all —
+// fences or annotated accesses.
+func (fp FencePolicy) Synchronizes() bool {
+	return fp.Acquire || fp.Release || fp.AcquireLoads || fp.ReleaseStores
+}
+
+// syncLd emits the load a spin loop uses to observe a synchronization
+// word: ld.acq under AcquireLoads, plain ld otherwise.
+func (b *Builder) syncLd(fp FencePolicy, rd, base Reg, off int64) {
+	if fp.AcquireLoads {
+		b.LdAcq(rd, base, off)
+	} else {
+		b.Ld(rd, base, off)
+	}
+}
+
+// syncSt emits the store that publishes a synchronization word: st.rel
+// under ReleaseStores, plain st otherwise.
+func (b *Builder) syncSt(fp FencePolicy, base Reg, off int64, src Reg) {
+	if fp.ReleaseStores {
+		b.StRel(base, off, src)
+	} else {
+		b.St(base, off, src)
+	}
+}
 
 // SpinLock emits a test-and-test-and-set acquire of the lock word at
 // [base+off]. It clobbers t0 and t1. The lock word is 0 when free, 1 when
@@ -48,7 +86,7 @@ func (b *Builder) SpinLockBackoff(base Reg, off int64, t0, t1 Reg, backoff int64
 		b.Delay(backoff)
 	}
 	b.Label(retry)
-	b.Ld(t0, base, off)          // test
+	b.syncLd(fp, t0, base, off)  // test (ld.acq under RC)
 	b.Bne(t0, R0, spin)          // spin while held
 	b.Cas(t0, base, off, R0, t1) // test-and-set
 	b.Bne(t0, R0, spin)          // lost the race; spin again
@@ -57,12 +95,14 @@ func (b *Builder) SpinLockBackoff(base Reg, off int64, t0, t1 Reg, backoff int64
 	}
 }
 
-// SpinUnlock emits a release of the lock word at [base+off].
+// SpinUnlock emits a release of the lock word at [base+off]. Under a
+// Release policy the ordering is a standalone fence; under ReleaseStores
+// (RC) the lock-clearing store itself carries it.
 func (b *Builder) SpinUnlock(base Reg, off int64, fp FencePolicy) {
 	if fp.Release {
 		b.Fence()
 	}
-	b.St(base, off, R0)
+	b.syncSt(fp, base, off, R0)
 }
 
 // Barrier emits a sense-reversing barrier. The barrier's memory layout is
@@ -78,6 +118,8 @@ func (b *Builder) Barrier(base Reg, off int64, senseReg, t0, t1 Reg, threads int
 	if fp.Release {
 		b.Fence() // prior work visible before announcing arrival
 	}
+	// Under RC the arrival Fadd itself carries release ordering (atomics
+	// are synchronization accesses), so no fence is needed here.
 	b.Fadd(t0, base, off, t1) // arrive
 	b.MovI(t1, int64(threads-1))
 	b.Bne(t0, t1, wait)
@@ -86,10 +128,10 @@ func (b *Builder) Barrier(base Reg, off int64, senseReg, t0, t1 Reg, threads int
 	if fp.Release {
 		b.Fence()
 	}
-	b.St(base, off+8, senseReg)
+	b.syncSt(fp, base, off+8, senseReg)
 	b.Br(done)
 	b.Label(wait)
-	b.Ld(t0, base, off+8)
+	b.syncLd(fp, t0, base, off+8)
 	b.Bne(t0, senseReg, wait)
 	b.Label(done)
 	if fp.Acquire {

@@ -125,6 +125,42 @@ const (
 // varOff returns the byte offset of shared variable i.
 func varOff(i int) int64 { return int64(i) * varStride }
 
+// pubSt emits an ordering-carrying publication store: st.rel under an RC
+// annotation policy, an optional full fence plus a plain store otherwise.
+// Tests route their release edges through this so one builder serves every
+// policy the corpus sweeps (unfenced, RMO fences, RC annotations).
+func pubSt(b *isa.Builder, fp isa.FencePolicy, base isa.Reg, off int64, src isa.Reg) {
+	if fp.ReleaseStores {
+		b.StRel(base, off, src)
+		return
+	}
+	if fp.Release {
+		b.Fence()
+	}
+	b.St(base, off, src)
+}
+
+// acqLd emits an ordering-carrying observation load: ld.acq under an RC
+// annotation policy, a plain load plus an optional trailing fence otherwise.
+func acqLd(b *isa.Builder, fp isa.FencePolicy, rd, base isa.Reg, off int64) {
+	if fp.AcquireLoads {
+		b.LdAcq(rd, base, off)
+		return
+	}
+	b.Ld(rd, base, off)
+	if fp.Acquire {
+		b.Fence()
+	}
+}
+
+// weakUnordered reports whether the model leaves the test's edges unordered
+// for a program built without fences or annotations: RMO and RC relax
+// everything in that case (RC's extra ordering exists only on annotated
+// accesses, which unfenced programs do not emit).
+func weakUnordered(m consistency.Model, fenced bool) bool {
+	return (m == consistency.RMO || m == consistency.RC) && !fenced
+}
+
 // resOff returns the byte offset of result slot i (one per block: each
 // thread writes its own).
 func resOff(i int) int64 { return int64(i) * varStride }
@@ -157,7 +193,8 @@ var Tests = []Test{
 	{
 		// Message passing: T0 writes data then flag; T1 reads flag then
 		// data. Seeing the flag but stale data is forbidden under SC and
-		// TSO, and under RMO when fences are emitted.
+		// TSO, and under RMO/RC when fences (or acquire/release
+		// annotations) are emitted.
 		Name:    "MP",
 		Threads: 2,
 		Slots:   2,
@@ -166,22 +203,16 @@ var Tests = []Test{
 			if t == 0 {
 				b.MovI(isa.R6, 1)
 				b.St(vars, data, isa.R6)
-				if fp.Release {
-					b.Fence()
-				}
-				b.St(vars, flag, isa.R6)
+				pubSt(b, fp, vars, flag, isa.R6)
 				return
 			}
-			b.Ld(isa.R7, vars, flag)
-			if fp.Acquire {
-				b.Fence()
-			}
+			acqLd(b, fp, isa.R7, vars, flag)
 			b.Ld(isa.R8, vars, data)
 			b.St(results, resOff(0), isa.R7)
 			b.St(results, resOff(1), isa.R8)
 		},
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
-			if m == consistency.RMO && !fenced {
+			if weakUnordered(m, fenced) {
 				return false
 			}
 			return o[0] == 1 && o[1] == 0
@@ -225,25 +256,19 @@ var Tests = []Test{
 				b.MovI(isa.R6, 1)
 				b.St(vars, y, isa.R6)
 			case 2:
-				b.Ld(isa.R7, vars, x)
-				if fp.Acquire {
-					b.Fence()
-				}
+				acqLd(b, fp, isa.R7, vars, x)
 				b.Ld(isa.R8, vars, y)
 				b.St(results, resOff(0), isa.R7)
 				b.St(results, resOff(1), isa.R8)
 			case 3:
-				b.Ld(isa.R7, vars, y)
-				if fp.Acquire {
-					b.Fence()
-				}
+				acqLd(b, fp, isa.R7, vars, y)
 				b.Ld(isa.R8, vars, x)
 				b.St(results, resOff(2), isa.R7)
 				b.St(results, resOff(3), isa.R8)
 			}
 		},
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
-			if m == consistency.RMO && !fenced {
+			if weakUnordered(m, fenced) {
 				return false
 			}
 			return o[0] == 1 && o[1] == 0 && o[2] == 1 && o[3] == 0
@@ -286,24 +311,18 @@ var Tests = []Test{
 				b.MovI(isa.R6, 1)
 				b.St(vars, x, isa.R6)
 			case 1:
-				b.Ld(isa.R7, vars, x)
-				if fp.Release {
-					b.Fence()
-				}
+				acqLd(b, fp, isa.R7, vars, x)
 				b.St(vars, y, isa.R7) // forwards the observed value
 				b.St(results, resOff(0), isa.R7)
 			case 2:
-				b.Ld(isa.R8, vars, y)
-				if fp.Acquire {
-					b.Fence()
-				}
+				acqLd(b, fp, isa.R8, vars, y)
 				b.Ld(isa.R9, vars, x)
 				b.St(results, resOff(1), isa.R8)
 				b.St(results, resOff(2), isa.R9)
 			}
 		},
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
-			if m == consistency.RMO && !fenced {
+			if weakUnordered(m, fenced) {
 				return false
 			}
 			return o[0] == 1 && o[1] == 1 && o[2] == 0
@@ -364,29 +383,20 @@ var Tests = []Test{
 			case 0:
 				b.MovI(isa.R6, 1)
 				b.St(vars, x, isa.R6)
-				if fp.Release {
-					b.Fence()
-				}
-				b.St(vars, y, isa.R6)
+				pubSt(b, fp, vars, y, isa.R6)
 			case 1:
-				b.Ld(isa.R7, vars, y)
-				if fp.Acquire {
-					b.Fence()
-				}
+				acqLd(b, fp, isa.R7, vars, y)
 				b.St(vars, z, isa.R7) // forwards the observed value
 				b.St(results, resOff(0), isa.R7)
 			case 2:
-				b.Ld(isa.R8, vars, z)
-				if fp.Acquire {
-					b.Fence()
-				}
+				acqLd(b, fp, isa.R8, vars, z)
 				b.Ld(isa.R9, vars, x)
 				b.St(results, resOff(1), isa.R8)
 				b.St(results, resOff(2), isa.R9)
 			}
 		},
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
-			if m == consistency.RMO && !fenced {
+			if weakUnordered(m, fenced) {
 				return false
 			}
 			return o[0] == 1 && o[1] == 1 && o[2] == 0
@@ -411,13 +421,10 @@ var Tests = []Test{
 			b.MovI(isa.R6, 2)
 			b.MovI(isa.R7, 1)
 			b.St(vars, first, isa.R6)
-			if fp.Release {
-				b.Fence()
-			}
-			b.St(vars, second, isa.R7)
+			pubSt(b, fp, vars, second, isa.R7)
 		},
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
-			if m == consistency.RMO && !fenced {
+			if weakUnordered(m, fenced) {
 				return false
 			}
 			return o[0] == 2 && o[1] == 2
@@ -439,12 +446,12 @@ var Tests = []Test{
 			if t == 0 {
 				b.MovI(isa.R6, 1)
 				b.St(vars, x, isa.R6)
-				if fp.Release {
-					b.Fence()
-				}
-				b.St(vars, y, isa.R6)
+				pubSt(b, fp, vars, y, isa.R6)
 				return
 			}
+			// T1's store→load edge needs a *full* fence: release/acquire
+			// annotations never order a store before a later load, so under
+			// RC the outcome stays allowed even with RCFences.
 			b.MovI(isa.R6, 2)
 			b.St(vars, y, isa.R6)
 			if fp.Release {
@@ -477,27 +484,105 @@ var Tests = []Test{
 				b.MovI(isa.R6, 2)
 				b.MovI(isa.R7, 1)
 				b.St(vars, x, isa.R6)
-				if fp.Release {
-					b.Fence()
-				}
-				b.St(vars, y, isa.R7)
+				pubSt(b, fp, vars, y, isa.R7)
 				return
 			}
-			b.Ld(isa.R7, vars, y)
-			if fp.Acquire {
-				b.Fence()
-			}
+			acqLd(b, fp, isa.R7, vars, y)
 			b.MovI(isa.R6, 1)
 			b.St(vars, x, isa.R6)
 			b.St(results, resOff(0), isa.R7)
 		},
 		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
-			if m == consistency.RMO && !fenced {
+			if weakUnordered(m, fenced) {
 				return false
 			}
 			return o[0] == 1 && o[1] == 2
 		},
 		Target: OutcomeSpec{1, 2},
+	},
+	{
+		// MP-rel-acq: message passing whose ordering lives entirely in the
+		// instruction annotations — the flag is published with st.rel and
+		// observed with ld.acq, with no standalone fences under the RC
+		// policy. Under RC the annotations alone forbid the stale-data
+		// outcome even in the "unfenced" sweep; under RMO the machine
+		// ignores them (they degrade to plain ld/st) and only an explicit
+		// fence policy closes the window. This is the pinning test for the
+		// RC variant family: it separates RC from RMO on identical programs.
+		Name:    "MP-rel-acq",
+		Threads: 2,
+		Slots:   2,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			data, flag := varOff(0), varOff(1)
+			if t == 0 {
+				b.MovI(isa.R6, 1)
+				b.St(vars, data, isa.R6)
+				if fp.Release {
+					b.Fence()
+				}
+				b.StRel(vars, flag, isa.R6)
+				return
+			}
+			b.LdAcq(isa.R7, vars, flag)
+			if fp.Acquire {
+				b.Fence()
+			}
+			b.Ld(isa.R8, vars, data)
+			b.St(results, resOff(0), isa.R7)
+			b.St(results, resOff(1), isa.R8)
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 0
+		},
+		Interesting: func(o Outcome) bool { return o[0] == 1 && o[1] == 0 },
+		Target:      OutcomeSpec{1, 0},
+	},
+	{
+		// ISA2-rel-acq: the transitive message-passing chain with every
+		// edge carried by annotations — st.rel publications, ld.acq
+		// observations, no fences under RC. Forbidden under SC/TSO and
+		// under RC unconditionally; under RMO the annotations degrade and
+		// the outcome is only forbidden with explicit fences.
+		Name:    "ISA2-rel-acq",
+		Threads: 3,
+		Slots:   3,
+		Build: func(b *isa.Builder, t int, vars, results isa.Reg, fp isa.FencePolicy) {
+			x, y, z := varOff(0), varOff(1), varOff(2)
+			switch t {
+			case 0:
+				b.MovI(isa.R6, 1)
+				b.St(vars, x, isa.R6)
+				if fp.Release {
+					b.Fence()
+				}
+				b.StRel(vars, y, isa.R6)
+			case 1:
+				b.LdAcq(isa.R7, vars, y)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.StRel(vars, z, isa.R7) // forwards the observed value
+				b.St(results, resOff(0), isa.R7)
+			case 2:
+				b.LdAcq(isa.R8, vars, z)
+				if fp.Acquire {
+					b.Fence()
+				}
+				b.Ld(isa.R9, vars, x)
+				b.St(results, resOff(1), isa.R8)
+				b.St(results, resOff(2), isa.R9)
+			}
+		},
+		Forbidden: func(o Outcome, m consistency.Model, fenced bool) bool {
+			if m == consistency.RMO && !fenced {
+				return false
+			}
+			return o[0] == 1 && o[1] == 1 && o[2] == 0
+		},
+		Target: OutcomeSpec{1, 1, 0},
 	},
 }
 
@@ -525,6 +610,9 @@ func AllConfigs() []ConfigSpec {
 		{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
 		{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
 		{"aso", consistency.SC, ifcore.DefaultASO()},
+		{"rc", consistency.RC, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.RC}},
+		{"invisi-rc", consistency.RC, ifcore.DefaultSelective(consistency.RC)},
+		{"louvre-rc", consistency.RC, ifcore.DefaultLouvre()},
 	}
 }
 
@@ -540,20 +628,29 @@ type Result struct {
 
 // Run sweeps a test under a configuration across seeds, each seed with
 // different network jitter and thread skew. Programs are specialized per
-// model: under RMO the builders emit their fences (fenced = true for the
-// Forbidden predicate).
+// model: under RMO the builders emit their fences, under RC their
+// acquire/release annotations (fenced = true for the Forbidden predicate).
 func Run(t Test, spec ConfigSpec, seeds int) Result {
-	fp := isa.NoFences
-	if spec.Model == consistency.RMO {
-		fp = isa.RMOFences
+	return RunWithPolicy(t, spec, DefaultPolicy(spec.Model), seeds)
+}
+
+// DefaultPolicy is the fence policy a correct sync library would use for
+// the model: full fences under RMO, acquire/release annotations under RC,
+// nothing under the stronger models.
+func DefaultPolicy(m consistency.Model) isa.FencePolicy {
+	switch m {
+	case consistency.RMO:
+		return isa.RMOFences
+	case consistency.RC:
+		return isa.RCFences
 	}
-	return RunWithPolicy(t, spec, fp, seeds)
+	return isa.NoFences
 }
 
 // RunWithPolicy is Run with an explicit fence policy, letting callers probe
 // the *unfenced* behavior of a weak model (the corpus tables pin both).
 func RunWithPolicy(t Test, spec ConfigSpec, fp isa.FencePolicy, seeds int) Result {
-	fenced := fp.Acquire || fp.Release
+	fenced := fp.Synchronizes()
 	h := HarnessFor(t, fp)
 	res := Result{Test: t.Name, Config: spec.Name, Outcomes: make(map[Outcome]int)}
 	for seed := 0; seed < seeds; seed++ {

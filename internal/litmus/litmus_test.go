@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"invisifence/internal/consistency"
+	"invisifence/internal/isa"
 )
 
 // TestNoForbiddenOutcomes is the paper's core correctness claim: under
@@ -64,6 +65,43 @@ func TestSpeculationEpisodesOccur(t *testing.T) {
 		if res.Runs != 4 {
 			t.Fatalf("%s: bad run count", name)
 		}
+	}
+}
+
+// TestRCMonotoneVsRMO pins the model-strength ordering the RC design
+// claims: RC is RMO plus acquire/release edges plus draining (RCsc)
+// atomics, so on identical programs every outcome the rc implementation
+// exhibits must also be allowed — and, over the same seed sweep, actually
+// exhibited or at least never forbidden — under rmo. Concretely: the rc
+// outcome set of every litmus test (unfenced and annotated bodies alike)
+// must be a subset of the rmo-allowed set, checked both against rmo's
+// observed sweep and against the RMO Forbidden predicate.
+func TestRCMonotoneVsRMO(t *testing.T) {
+	const seeds = 40
+	rc := findConfig(t, "rc")
+	rmo := findConfig(t, "rmo")
+	for _, tt := range Tests {
+		tt := tt
+		t.Run(tt.Name, func(t *testing.T) {
+			t.Parallel()
+			h := HarnessFor(tt, isa.NoFences)
+			rcHist := h.Sweep(rc, seeds)
+			rmoHist := h.Sweep(rmo, seeds)
+			for o := range rcHist {
+				// The hard model bound: nothing rc produces may be
+				// RMO-forbidden (unfenced programs, fenced=false).
+				if tt.Forbidden(o, consistency.RMO, false) {
+					t.Errorf("rc outcome %v is forbidden under rmo", o)
+				}
+				// The empirical inclusion: with identical programs and
+				// seeds, rc (which only ever adds ordering) must not
+				// surface an outcome the rmo sweep cannot.
+				if rmoHist[o] == 0 {
+					t.Errorf("rc outcome %v never observed under rmo (rc: %v, rmo: %v)",
+						o, rcHist, rmoHist)
+				}
+			}
+		})
 	}
 }
 

@@ -52,15 +52,18 @@ func (n *Node) StartLoad(tag uint64, addr memtypes.Addr) cpu.LoadResult {
 // cpu.Backend: retirement policy (Figure 2 rules, Figure 4 triggers).
 // ---------------------------------------------------------------------
 
-// RetireLoad implements cpu.Backend.
-func (n *Node) RetireLoad(addr memtypes.Addr, fromL1 bool) (bool, cpu.StallReason) {
+// RetireLoad implements cpu.Backend. Acquiring loads (ld.acq) need no
+// extra machinery: in-order retirement plus load-queue snooping already
+// order a retired load before everything younger, which is exactly the
+// acquire edge RC requires.
+func (n *Node) RetireLoad(op isa.Op, addr memtypes.Addr, fromL1 bool) (bool, cpu.StallReason) {
 	if n.engine.Speculating() {
 		return n.retireSpecLoad(addr, fromL1)
 	}
 	rules := consistency.RulesFor(n.cfg.Model)
 	if rules.LoadNeedsDrain && !n.sbEmpty() {
 		// SC: a load may not retire past outstanding stores...
-		if n.canTriggerSpeculation() {
+		if n.canTriggerSpeculationOn(trigLoad) {
 			// ...unless InvisiFence speculates instead (§4.1).
 			n.engine.Begin()
 			return n.retireSpecLoad(addr, fromL1)
@@ -96,21 +99,41 @@ func (n *Node) retireSpecLoad(addr memtypes.Addr, fromL1 bool) (bool, cpu.StallR
 	return true, cpu.StallNone
 }
 
-// canTriggerSpeculation reports whether a selective-mode speculation may
-// begin now (also covers the ASO baseline).
-func (n *Node) canTriggerSpeculation() bool {
+// triggerKind classifies the retirement stall that would start a
+// speculation: which instruction class hit an ordering requirement.
+type triggerKind uint8
+
+const (
+	trigLoad triggerKind = iota
+	trigStore
+	trigRelease // st.rel blocked on a store-buffer drain (RC)
+	trigAtomic
+	trigFence
+)
+
+// canTriggerSpeculationOn reports whether a checkpoint-based speculation
+// may begin now at a stall of the given kind. Selective mode (and the ASO
+// baseline) speculates at every ordering stall (Figure 4); Louvre-style
+// versioned ordering opens a version epoch only at release boundaries and
+// takes the conventional stall everywhere else.
+func (n *Node) canTriggerSpeculationOn(k triggerKind) bool {
 	if DebugInertEngine {
 		return false
 	}
-	m := n.engine.Config().Mode
-	if m != ifcore.ModeSelective && m != ifcore.ModeASO {
+	switch n.engine.Config().Mode {
+	case ifcore.ModeSelective, ifcore.ModeASO:
+	case ifcore.ModeLouvre:
+		if k != trigRelease {
+			return false
+		}
+	default:
 		return false
 	}
 	return n.engine.CanBegin()
 }
 
 // RetireStore implements cpu.Backend.
-func (n *Node) RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.StallReason) {
+func (n *Node) RetireStore(op isa.Op, addr memtypes.Addr, val memtypes.Word) (bool, cpu.StallReason) {
 	if n.fifoSB != nil {
 		// Conventional SC/TSO: word-granularity FIFO.
 		if !n.fifoSB.Push(addr, val) {
@@ -127,11 +150,23 @@ func (n *Node) RetireStore(addr memtypes.Addr, val memtypes.Word) (bool, cpu.Sta
 	switch n.cfg.Model {
 	case consistency.SC, consistency.TSO:
 		if !n.sbEmpty() {
-			if n.canTriggerSpeculation() {
+			if n.canTriggerSpeculationOn(trigStore) {
 				n.engine.Begin()
 				return n.retireSpecStore(addr, val)
 			}
 			// Forward-progress grace window: wait for the drain.
+			return false, cpu.StallSBDrain
+		}
+	case consistency.RC:
+		// A releasing store may not become visible before any earlier
+		// store: drain first — or speculate past the release (Invisi_rc's
+		// selective trigger, Louvre's version-epoch open). Plain stores
+		// coalesce freely.
+		if op.IsRelease() && !n.sbEmpty() {
+			if n.canTriggerSpeculationOn(trigRelease) {
+				n.engine.Begin()
+				return n.retireSpecStore(addr, val)
+			}
 			return false, cpu.StallSBDrain
 		}
 	}
@@ -240,8 +275,9 @@ func (n *Node) RetireAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes.Wor
 	}
 	rules := consistency.RulesFor(n.cfg.Model)
 	if rules.AtomicNeedsDrain && !n.sbEmpty() {
-		// SC/TSO: drain before the atomic -- or speculate (Figure 4).
-		if n.canTriggerSpeculation() {
+		// SC/TSO (and RC, whose atomics are synchronization accesses):
+		// drain before the atomic -- or speculate (Figure 4).
+		if n.canTriggerSpeculationOn(trigAtomic) {
 			n.engine.Begin()
 			return n.retireSpecAtomic(op, addr, opA, opB)
 		}
@@ -253,9 +289,10 @@ func (n *Node) RetireAtomic(op isa.Op, addr memtypes.Addr, opA, opB memtypes.Wor
 		return false, 0, cpu.StallOther // data miss
 	}
 	if !line.State.Writable() {
-		// Ownership wait ("complete store", Figure 2). Under RMO this is
-		// the Figure 4 atomic trigger.
-		if n.cfg.Model == consistency.RMO && n.canTriggerSpeculation() {
+		// Ownership wait ("complete store", Figure 2). Under RMO and RC
+		// this is the Figure 4 atomic trigger.
+		if (n.cfg.Model == consistency.RMO || n.cfg.Model == consistency.RC) &&
+			n.canTriggerSpeculationOn(trigAtomic) {
 			n.engine.Begin()
 			return n.retireSpecAtomic(op, addr, opA, opB)
 		}
@@ -322,7 +359,7 @@ func (n *Node) RetireFence() (bool, cpu.StallReason) {
 	if n.sbEmpty() {
 		return true, cpu.StallNone
 	}
-	if n.canTriggerSpeculation() {
+	if n.canTriggerSpeculationOn(trigFence) {
 		n.engine.Begin()
 		return true, cpu.StallNone
 	}

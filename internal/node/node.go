@@ -356,7 +356,7 @@ func (n *Node) headRetireEvent() uint64 {
 	if n.engine.Speculating() {
 		return n.specHeadRetireEvent(hs)
 	}
-	// Non-speculating head. canTriggerSpeculation is consulted exactly
+	// Non-speculating head. canTriggerSpeculationOn is consulted exactly
 	// where the backend would call Begin — a blanket now+1 whenever the
 	// engine *could* begin would misclassify every pure wait on the paths
 	// that never trigger (e.g. an SC atomic's ownership wait), which is
@@ -369,13 +369,13 @@ func (n *Node) headRetireEvent() uint64 {
 		if n.sbEmpty() {
 			return n.now + 1 // retires
 		}
-		if n.canTriggerSpeculation() {
+		if n.canTriggerSpeculationOn(trigFence) {
 			return n.now + 1 // RetireFence begins a speculation instead
 		}
 		return memtypes.NoEvent // pure drain wait (RetireFence mutates nothing)
 	case hs.Op.IsLoad():
 		if rules.LoadNeedsDrain && !n.sbEmpty() {
-			if n.canTriggerSpeculation() {
+			if n.canTriggerSpeculationOn(trigLoad) {
 				return n.now + 1 // RetireLoad begins a speculation instead
 			}
 			return memtypes.NoEvent // pure drain wait (SC)
@@ -393,10 +393,17 @@ func (n *Node) headRetireEvent() uint64 {
 		switch n.cfg.Model {
 		case consistency.SC, consistency.TSO:
 			if !n.sbEmpty() {
-				if n.canTriggerSpeculation() {
+				if n.canTriggerSpeculationOn(trigStore) {
 					return n.now + 1 // RetireStore begins a speculation instead
 				}
 				return memtypes.NoEvent // pure drain-grace wait
+			}
+		case consistency.RC:
+			if hs.Op.IsRelease() && !n.sbEmpty() {
+				if n.canTriggerSpeculationOn(trigRelease) {
+					return n.now + 1 // RetireStore begins a speculation instead
+				}
+				return memtypes.NoEvent // pure release-drain wait
 			}
 		}
 		if n.coalStoreWouldStall(hs.Addr) {
@@ -405,7 +412,7 @@ func (n *Node) headRetireEvent() uint64 {
 		return n.now + 1
 	case hs.Op.IsAtomic():
 		if rules.AtomicNeedsDrain && !n.sbEmpty() {
-			if n.canTriggerSpeculation() {
+			if n.canTriggerSpeculationOn(trigAtomic) {
 				return n.now + 1 // RetireAtomic begins a speculation instead
 			}
 			return memtypes.NoEvent // pure drain wait
@@ -413,8 +420,9 @@ func (n *Node) headRetireEvent() uint64 {
 		block := memtypes.BlockAddr(hs.Addr)
 		line := n.l1.Peek(block)
 		if line == nil || !line.State.Writable() {
-			if n.cfg.Model == consistency.RMO && n.canTriggerSpeculation() {
-				return n.now + 1 // the Figure 4 RMO atomic trigger fires
+			if (n.cfg.Model == consistency.RMO || n.cfg.Model == consistency.RC) &&
+				n.canTriggerSpeculationOn(trigAtomic) {
+				return n.now + 1 // the Figure 4 RMO/RC atomic trigger fires
 			}
 			// Ownership wait; requestBlock is idempotent once the miss is
 			// outstanding. Without an MSHR the next attempt allocates one.
@@ -714,13 +722,17 @@ func (n *Node) SkipCycles(k uint64) {
 		return
 	}
 	// Mirror of RetireStore's non-speculating coalescing path: with a
-	// non-empty buffer under SC/TSO the attempt either begins a speculation
-	// (never skipped, headRetireEvent returns now+1) or waits for the drain
-	// without touching the buffer; only past that gate does a failed push
-	// count a FullStall per attempt.
+	// non-empty buffer under SC/TSO (or at an RC releasing store) the
+	// attempt either begins a speculation (never skipped, headRetireEvent
+	// returns now+1) or waits for the drain without touching the buffer;
+	// only past that gate does a failed push count a FullStall per attempt.
 	switch n.cfg.Model {
 	case consistency.SC, consistency.TSO:
 		if !n.sbEmpty() {
+			return
+		}
+	case consistency.RC:
+		if hs.Op.IsRelease() && !n.sbEmpty() {
 			return
 		}
 	}

@@ -68,6 +68,74 @@ func contendedProgram(tid, threads int) *isa.Program {
 	return b.MustBuild()
 }
 
+// rcContendedProgram is contendedProgram specialized to release
+// consistency: the lock's test load and the release store carry their
+// ordering as ld.acq / st.rel annotations, with no standalone fences.
+// Every RC-specific backend path is exercised — the release drain-or-
+// trigger stall, the structural acquire, and the draining atomics.
+func rcContendedProgram(tid, threads int) *isa.Program {
+	const (
+		lockAddr  = 0x10000
+		countAddr = 0x10040
+		slotBase  = 0x20000
+		privBase  = 0x40000
+	)
+	b := isa.NewBuilder("contend-rc")
+	if d := int64(tid * 7); d > 0 {
+		b.Delay(d)
+	}
+	b.MovI(isa.R1, lockAddr)
+	b.MovI(isa.R2, countAddr)
+	b.MovI(isa.R3, slotBase+int64(tid)*memtypes.BlockBytes)
+	b.MovI(isa.R4, privBase+int64(tid)*4096)
+	b.MovI(isa.R5, 0) // loop counter
+	b.MovI(isa.R6, 6) // iterations
+	b.Label("iter")
+	// Acquire the lock (ld.acq test, CAS set).
+	b.Label("spin")
+	b.MovI(isa.R7, 0)
+	b.MovI(isa.R8, 1)
+	b.LdAcq(isa.R9, isa.R1, 0)
+	b.Bne(isa.R9, isa.R7, "spin")
+	b.Cas(isa.R9, isa.R1, 0, isa.R7, isa.R8)
+	b.Bne(isa.R9, isa.R7, "spin")
+	// Critical section: bump the shared counter, publish to our slot.
+	b.Ld(isa.R10, isa.R2, 0)
+	b.AddI(isa.R10, isa.R10, 1)
+	b.St(isa.R2, 0, isa.R10)
+	b.St(isa.R3, 0, isa.R10)
+	// Release: the lock-clearing store carries the ordering.
+	b.MovI(isa.R7, 0)
+	b.StRel(isa.R1, 0, isa.R7)
+	// Non-critical work: a burst of private stores (store-buffer pressure,
+	// release-drain latency) and a read of a neighbour's slot.
+	b.MovI(isa.R11, 0)
+	b.MovI(isa.R12, 8)
+	b.Label("burst")
+	b.ShlI(isa.R13, isa.R11, 6)
+	b.Add(isa.R13, isa.R13, isa.R4)
+	b.St(isa.R13, 0, isa.R11)
+	b.AddI(isa.R11, isa.R11, 1)
+	b.Bltu(isa.R11, isa.R12, "burst")
+	b.MovI(isa.R14, slotBase+int64((tid+1)%threads)*memtypes.BlockBytes)
+	b.Ld(isa.R15, isa.R14, 0)
+	// Shared fetch-add outside the lock (drains under RC).
+	b.MovI(isa.R8, 1)
+	b.Fadd(isa.R9, isa.R2, 8, isa.R8)
+	b.AddI(isa.R5, isa.R5, 1)
+	b.Bltu(isa.R5, isa.R6, "iter")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// programFor picks the contended program matching the model's sync idiom.
+func programFor(model consistency.Model, tid, threads int) *isa.Program {
+	if model == consistency.RC {
+		return rcContendedProgram(tid, threads)
+	}
+	return contendedProgram(tid, threads)
+}
+
 // runBoth runs the same system twice — lock-step and idle-skip — and
 // returns both results.
 func runBoth(t *testing.T, model consistency.Model, eng ifcore.Config) (lockstep, skipped Result) {
@@ -78,7 +146,7 @@ func runBoth(t *testing.T, model consistency.Model, eng ifcore.Config) (lockstep
 		nnodes := cfg.Net.Width * cfg.Net.Height
 		progs := make([]*isa.Program, nnodes)
 		for i := range progs {
-			progs[i] = contendedProgram(i, nnodes)
+			progs[i] = programFor(model, i, nnodes)
 		}
 		s := New(cfg, progs, nil)
 		res := s.Run()
@@ -104,8 +172,11 @@ func TestIdleSkipBitExact(t *testing.T) {
 		{"conventional-sc", consistency.SC, offEngine(consistency.SC)},
 		{"conventional-tso", consistency.TSO, offEngine(consistency.TSO)},
 		{"conventional-rmo", consistency.RMO, offEngine(consistency.RMO)},
+		{"conventional-rc", consistency.RC, offEngine(consistency.RC)},
 		{"selective-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
 		{"selective-rmo", consistency.RMO, ifcore.DefaultSelective(consistency.RMO)},
+		{"selective-rc", consistency.RC, ifcore.DefaultSelective(consistency.RC)},
+		{"louvre-rc", consistency.RC, ifcore.DefaultLouvre()},
 		{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
 		{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
 		{"aso", consistency.SC, ifcore.DefaultASO()},

@@ -22,8 +22,11 @@ var runnerCases = []struct {
 	{"conventional-sc", consistency.SC, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.SC}},
 	{"conventional-tso", consistency.TSO, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.TSO}},
 	{"conventional-rmo", consistency.RMO, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.RMO}},
+	{"conventional-rc", consistency.RC, ifcore.Config{Mode: ifcore.ModeOff, Model: consistency.RC}},
 	{"selective-sc", consistency.SC, ifcore.DefaultSelective(consistency.SC)},
 	{"selective-rmo", consistency.RMO, ifcore.DefaultSelective(consistency.RMO)},
+	{"selective-rc", consistency.RC, ifcore.DefaultSelective(consistency.RC)},
+	{"louvre-rc", consistency.RC, ifcore.DefaultLouvre()},
 	{"continuous", consistency.SC, ifcore.DefaultContinuous(false)},
 	{"continuous-cov", consistency.SC, ifcore.DefaultContinuous(true)},
 	{"aso", consistency.SC, ifcore.DefaultASO()},
@@ -37,7 +40,7 @@ func runWith(t *testing.T, model consistency.Model, eng ifcore.Config, mutate fu
 	nnodes := cfg.Net.Width * cfg.Net.Height
 	progs := make([]*isa.Program, nnodes)
 	for i := range progs {
-		progs[i] = contendedProgram(i, nnodes)
+		progs[i] = programFor(model, i, nnodes)
 	}
 	s := New(cfg, progs, nil)
 	res := s.Run()

@@ -61,13 +61,21 @@ func (s Site) String() string { return fmt.Sprintf("T%d@%d", s.Thread, s.PC) }
 type Class uint8
 
 const (
-	// Load is a non-atomic read.
+	// Load is a non-atomic plain read.
 	Load Class = iota
-	// Store is a non-atomic write.
+	// Store is a non-atomic plain write.
 	Store
 	// Atomic is a read-modify-write; it behaves as both a read and a
 	// write for conflict and reordering purposes.
 	Atomic
+	// AcqLoad is a load-acquire (ld.acq): a read that, under RC, orders
+	// itself before every later access. Under every other model it is a
+	// plain load — the machine ignores the annotation.
+	AcqLoad
+	// RelStore is a store-release (st.rel): a write that, under RC,
+	// orders every earlier access before itself. Under every other model
+	// it is a plain store.
+	RelStore
 )
 
 // String implements fmt.Stringer.
@@ -79,9 +87,21 @@ func (c Class) String() string {
 		return "st"
 	case Atomic:
 		return "at"
+	case AcqLoad:
+		return "ld.acq"
+	case RelStore:
+		return "st.rel"
 	}
 	return fmt.Sprintf("Class(%d)", uint8(c))
 }
+
+// loadLike reports whether the class reads and does not write (plain or
+// acquire loads) — the "load" of the TSO store→load relaxation.
+func (c Class) loadLike() bool { return c == Load || c == AcqLoad }
+
+// storeLike reports whether the class writes and does not read (plain or
+// release stores).
+func (c Class) storeLike() bool { return c == Store || c == RelStore }
 
 // Event is one shared-memory access of the event graph.
 type Event struct {
@@ -93,10 +113,10 @@ type Event struct {
 }
 
 // Reads reports whether the event observes memory.
-func (e Event) Reads() bool { return e.Class != Store }
+func (e Event) Reads() bool { return !e.Class.storeLike() }
 
 // Writes reports whether the event mutates memory.
-func (e Event) Writes() bool { return e.Class != Load }
+func (e Event) Writes() bool { return !e.Class.loadLike() }
 
 // String renders "T0@2:st(v1)".
 func (e Event) String() string {
@@ -183,6 +203,11 @@ func litmusVar(off, stride int64) (int, bool) {
 
 func classOf(op isa.Op) Class {
 	switch {
+	// Annotations first: IsLoad/IsStore include the annotated ops.
+	case op.IsAcquire():
+		return AcqLoad
+	case op.IsRelease():
+		return RelStore
 	case op.IsLoad():
 		return Load
 	case op.IsStore():
@@ -374,8 +399,15 @@ func cycleSig(c Cycle) string {
 // addresses: may the model make the second access visible before the first?
 //
 //	sc:  nothing
-//	tso: st -> ld only (FIFO store buffer; atomics drain it)
-//	rmo: every pair (coalescing unordered buffer, no implicit atomic order)
+//	tso: st -> ld only (FIFO store buffer; atomics drain it); the
+//	     acquire/release annotations are ignored (plain ld/st)
+//	rmo: every pair (coalescing unordered buffer, no implicit atomic
+//	     order); annotations are ignored here too
+//	rc:  every pair except the acquire and release edges — an AcqLoad
+//	     orders itself before everything later, a RelStore orders
+//	     everything earlier before itself, and atomics are RCsc
+//	     synchronization accesses (both acquire and release ordering,
+//	     consistency.Rules drains the buffer around them)
 //
 // InvisiFence/ASO configs map to their *base* model: speculation must be
 // invisible, so the model's relation — not the mechanism's — is what the
@@ -386,8 +418,16 @@ func Reorderable(m consistency.Model, from, to Class) bool {
 	case consistency.SC:
 		return false
 	case consistency.TSO:
-		return from == Store && to == Load
+		return from.storeLike() && to.loadLike()
 	case consistency.RMO:
+		return true
+	case consistency.RC:
+		if from == Atomic || to == Atomic {
+			return false
+		}
+		if from == AcqLoad || to == RelStore {
+			return false
+		}
 		return true
 	}
 	panic(fmt.Sprintf("staticfence: unknown model %v", m))

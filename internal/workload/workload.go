@@ -47,8 +47,11 @@ func (p Params) scale(n int) int {
 
 // Fences returns the fence policy the model requires of the sync library.
 func (p Params) Fences() isa.FencePolicy {
-	if p.Model == consistency.RMO {
+	switch p.Model {
+	case consistency.RMO:
 		return isa.RMOFences
+	case consistency.RC:
+		return isa.RCFences
 	}
 	return isa.NoFences
 }

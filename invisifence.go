@@ -46,11 +46,12 @@ import (
 // Model is a memory consistency model.
 type Model = consistency.Model
 
-// The three models of §2.
+// The three models of §2, plus release consistency (RC).
 const (
 	SC  = consistency.SC
 	TSO = consistency.TSO
 	RMO = consistency.RMO
+	RC  = consistency.RC
 )
 
 // Variant names one consistency implementation: a model plus a speculation
@@ -129,6 +130,19 @@ func ASOVariant() Variant {
 		Name:       "ASO_sc",
 		Model:      SC,
 		Engine:     ifcore.DefaultASO(),
+		SBCapacity: 32,
+	}
+}
+
+// LouvreVariant returns the Louvre-style versioned-ordering baseline over
+// release consistency: version epochs open only at release boundaries
+// (two in flight: current + draining, hence the 32-entry buffer), with
+// squash-on-version-conflict instead of general speculation.
+func LouvreVariant() Variant {
+	return Variant{
+		Name:       "Louvre_rc",
+		Model:      RC,
+		Engine:     ifcore.DefaultLouvre(),
 		SBCapacity: 32,
 	}
 }

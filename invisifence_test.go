@@ -156,7 +156,7 @@ func TestFigureTablesSmallScale(t *testing.T) {
 		t.Fatal("figure 10 missing workload row")
 	}
 	// Static tables.
-	if len(Figure2().Rows) != 3 {
+	if len(Figure2().Rows) != 4 {
 		t.Fatal("figure 2 must have one row per model")
 	}
 	if len(Figure7().Rows) != 7 {

@@ -15,9 +15,9 @@ import (
 // canonical order.
 func VariantNames() []string {
 	return []string{
-		"sc", "tso", "rmo",
-		"invisi-sc", "invisi-tso", "invisi-rmo", "invisi-sc-2ckpt",
-		"continuous", "continuous-cov", "aso",
+		"sc", "tso", "rmo", "rc",
+		"invisi-sc", "invisi-tso", "invisi-rmo", "invisi-rc", "invisi-sc-2ckpt",
+		"continuous", "continuous-cov", "aso", "louvre-rc",
 	}
 }
 
@@ -31,12 +31,16 @@ func VariantByName(name string) (Variant, error) {
 		return ConventionalVariant(TSO), nil
 	case "rmo":
 		return ConventionalVariant(RMO), nil
+	case "rc":
+		return ConventionalVariant(RC), nil
 	case "invisi-sc":
 		return SelectiveVariant(SC), nil
 	case "invisi-tso":
 		return SelectiveVariant(TSO), nil
 	case "invisi-rmo":
 		return SelectiveVariant(RMO), nil
+	case "invisi-rc":
+		return SelectiveVariant(RC), nil
 	case "invisi-sc-2ckpt":
 		return Selective2CkptVariant(SC), nil
 	case "continuous":
@@ -45,6 +49,8 @@ func VariantByName(name string) (Variant, error) {
 		return ContinuousVariant(true), nil
 	case "aso":
 		return ASOVariant(), nil
+	case "louvre-rc":
+		return LouvreVariant(), nil
 	}
 	return Variant{}, fmt.Errorf("unknown variant %q (want one of %s)",
 		name, strings.Join(VariantNames(), ", "))
